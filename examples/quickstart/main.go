@@ -1,0 +1,99 @@
+// Quickstart: create a database, define a unified-storage table, ingest
+// rows, run a point read and an analytical aggregation — one engine for
+// both access patterns.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"s2db"
+)
+
+func main() {
+	db, err := s2db.Open(s2db.Config{
+		Name:                  "quickstart",
+		Partitions:            4,
+		MaxSegmentRows:        1024,
+		BackgroundMaintenance: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	// A unified table: unique key for OLTP point access, sort key for
+	// analytical range scans, secondary key on the category column.
+	schema := s2db.NewSchema(
+		s2db.Column{Name: "order_id", Type: s2db.Int64T},
+		s2db.Column{Name: "category", Type: s2db.StringT},
+		s2db.Column{Name: "quantity", Type: s2db.Int64T},
+		s2db.Column{Name: "price", Type: s2db.Float64T},
+	)
+	schema.UniqueKey = []int{0}
+	schema.ShardKey = []int{0}
+	schema.SortKey = 2
+	schema.SecondaryKeys = [][]int{{1}}
+	if err := db.CreateTable("orders", schema); err != nil {
+		log.Fatal(err)
+	}
+
+	// Bulk load historical data straight into columnstore segments...
+	categories := []string{"books", "games", "tools"}
+	var batch []s2db.Row
+	for i := 0; i < 5000; i++ {
+		batch = append(batch, s2db.Row{
+			s2db.Int(int64(i)),
+			s2db.Str(categories[i%3]),
+			s2db.Int(int64(i%7 + 1)),
+			s2db.Float(float64(i%50) + 0.99),
+		})
+	}
+	if err := db.BulkLoad("orders", batch); err != nil {
+		log.Fatal(err)
+	}
+	// ...and stream new orders through the transactional path.
+	for i := 5000; i < 5100; i++ {
+		if err := db.Insert("orders", s2db.Row{
+			s2db.Int(int64(i)), s2db.Str("streaming"), s2db.Int(1), s2db.Float(9.99),
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// OLTP: indexed point read by unique key.
+	row, ok, err := db.Get("orders", s2db.Int(4242))
+	if err != nil || !ok {
+		log.Fatalf("point read failed: %v", err)
+	}
+	fmt.Printf("order 4242: category=%s quantity=%d price=%.2f\n",
+		row[1].S, row[2].I, row[3].F)
+
+	// OLTP: a keyed update (row-level locking under the hood).
+	if _, err := db.Update("orders",
+		s2db.Where{Col: 0, Val: s2db.Int(4242)},
+		func(r s2db.Row) s2db.Row { r[2] = s2db.Int(r[2].I + 1); return r },
+	); err != nil {
+		log.Fatal(err)
+	}
+
+	// OLAP: grouped aggregation over the same table, same snapshot domain.
+	rows, err := db.Query("orders").
+		Where(s2db.Gt(3, s2db.Float(10))).
+		GroupBy(1).
+		Agg(s2db.CountAll(), s2db.SumExpr(func(r s2db.Row) s2db.Value {
+			return s2db.Float(float64(r[2].I) * r[3].F)
+		})).
+		OrderBy(s2db.OrderBy{Col: 0}).
+		Rows()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("revenue by category (price > 10):")
+	for _, r := range rows {
+		fmt.Printf("  %-10s orders=%-5d revenue=%.2f\n", r[0].S, r[1].I, r[2].F)
+	}
+
+	total, _ := db.Query("orders").Count()
+	fmt.Printf("total rows: %d\n", total)
+}

@@ -1,0 +1,3 @@
+module s2db
+
+go 1.22

@@ -1,0 +1,170 @@
+package baseline
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"s2db/internal/types"
+)
+
+func rowSchema() *types.Schema {
+	s := types.NewSchema(
+		types.Column{Name: "id", Type: types.Int64},
+		types.Column{Name: "val", Type: types.Int64},
+		types.Column{Name: "grp", Type: types.String},
+	)
+	s.UniqueKey = []int{0}
+	s.SecondaryKeys = [][]int{{2}}
+	return s
+}
+
+func rrow(id, val int, grp string) types.Row {
+	return types.Row{types.NewInt(int64(id)), types.NewInt(int64(val)), types.NewString(grp)}
+}
+
+func TestRowDBInsertGetUpdateDelete(t *testing.T) {
+	db := NewRowDB()
+	if err := db.CreateTable("t", rowSchema()); err != nil {
+		t.Fatal(err)
+	}
+	tbl, _ := db.Table("t")
+	for i := 0; i < 20; i++ {
+		if err := tbl.Insert(rrow(i, i, "g")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tbl.Insert(rrow(5, 0, "g")); err == nil {
+		t.Fatal("duplicate pk accepted")
+	}
+	r, ok := tbl.Get([]types.Value{types.NewInt(7)})
+	if !ok || r[1].I != 7 {
+		t.Fatalf("Get = %v %v", r, ok)
+	}
+	ok2, err := tbl.Update([]types.Value{types.NewInt(7)}, func(r types.Row) types.Row {
+		r[1] = types.NewInt(700)
+		return r
+	})
+	if err != nil || !ok2 {
+		t.Fatal(err)
+	}
+	r, _ = tbl.Get([]types.Value{types.NewInt(7)})
+	if r[1].I != 700 {
+		t.Fatal("update lost")
+	}
+	existed, err := tbl.Delete([]types.Value{types.NewInt(7)})
+	if err != nil || !existed {
+		t.Fatal(err)
+	}
+	if _, ok := tbl.Get([]types.Value{types.NewInt(7)}); ok {
+		t.Fatal("deleted row visible")
+	}
+	if tbl.Rows() != 19 {
+		t.Fatalf("Rows = %d", tbl.Rows())
+	}
+}
+
+func TestRowDBSecondaryIndexMaintained(t *testing.T) {
+	db := NewRowDB()
+	db.CreateTable("t", rowSchema())
+	tbl, _ := db.Table("t")
+	for i := 0; i < 30; i++ {
+		grp := "a"
+		if i%3 == 0 {
+			grp = "b"
+		}
+		tbl.Insert(rrow(i, i, grp))
+	}
+	rows := tbl.LookupEqual([]int{2}, []types.Value{types.NewString("b")})
+	if len(rows) != 10 {
+		t.Fatalf("LookupEqual(b) = %d rows", len(rows))
+	}
+	// Update moves a row between index values.
+	tbl.Update([]types.Value{types.NewInt(1)}, func(r types.Row) types.Row {
+		r[2] = types.NewString("b")
+		return r
+	})
+	rows = tbl.LookupEqual([]int{2}, []types.Value{types.NewString("b")})
+	if len(rows) != 11 {
+		t.Fatalf("after update LookupEqual(b) = %d rows", len(rows))
+	}
+	// Delete removes from the index.
+	tbl.Delete([]types.Value{types.NewInt(0)})
+	rows = tbl.LookupEqual([]int{2}, []types.Value{types.NewString("b")})
+	if len(rows) != 10 {
+		t.Fatalf("after delete LookupEqual(b) = %d rows", len(rows))
+	}
+}
+
+func TestRowDBScanRowAtATime(t *testing.T) {
+	db := NewRowDB()
+	db.CreateTable("t", rowSchema())
+	tbl, _ := db.Table("t")
+	for i := 0; i < 100; i++ {
+		tbl.Insert(rrow(i, i%10, "g"))
+	}
+	sum := int64(0)
+	tbl.Scan(func(r types.Row) bool {
+		sum += r[1].I
+		return true
+	})
+	if sum != 450 {
+		t.Fatalf("sum = %d", sum)
+	}
+}
+
+func TestWarehouseCapabilities(t *testing.T) {
+	w, err := NewWarehouse(WarehouseConfig{Partitions: 1, BlobPutLatency: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.CreateTable("t", rowSchema()); err != nil {
+		t.Fatal(err)
+	}
+	// Bulk loading works.
+	rows := make([]types.Row, 50)
+	for i := range rows {
+		rows[i] = rrow(i, i, "g")
+	}
+	if err := w.BulkLoad("t", rows); err != nil {
+		t.Fatal(err)
+	}
+	views, err := w.Views("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, v := range views {
+		n += v.NumRows()
+	}
+	if n != 50 {
+		t.Fatalf("rows = %d", n)
+	}
+	// OLTP features rejected.
+	if _, _, err := w.GetByUnique("t", nil); !errors.Is(err, ErrUnsupported) {
+		t.Fatalf("GetByUnique = %v", err)
+	}
+	if err := w.UpdateByKey("t", nil, nil); !errors.Is(err, ErrUnsupported) {
+		t.Fatalf("UpdateByKey = %v", err)
+	}
+	if w.SupportsTPCC() {
+		t.Fatal("warehouse must not support TPC-C")
+	}
+}
+
+func TestWarehouseCommitPaysBlobLatency(t *testing.T) {
+	w, err := NewWarehouse(WarehouseConfig{Partitions: 1, BlobPutLatency: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	w.CreateTable("t", rowSchema())
+	start := time.Now()
+	if err := w.Insert("t", []types.Row{rrow(1, 1, "g")}); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 5*time.Millisecond {
+		t.Fatalf("warehouse commit returned in %v, must pay blob latency", elapsed)
+	}
+}

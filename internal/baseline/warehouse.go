@@ -1,0 +1,96 @@
+package baseline
+
+import (
+	"fmt"
+	"time"
+
+	"s2db/internal/blob"
+	"s2db/internal/cluster"
+	"s2db/internal/core"
+	"s2db/internal/types"
+)
+
+// Warehouse is the cloud-data-warehouse baseline (CDW1/CDW2-class): the
+// same columnstore execution engine, but (a) commits require blob-store
+// writes ("they force new data for a write transaction to be written out
+// to blob storage before that transaction can be considered committed",
+// §1/§3) and (b) no secondary indexes, unique keys or row-level locking —
+// the reasons "CDW1 and CDW2 do not support running TPC-C" (§6).
+type Warehouse struct {
+	cluster *cluster.Cluster
+}
+
+// WarehouseConfig tunes the baseline.
+type WarehouseConfig struct {
+	Partitions int
+	// BlobPutLatency injects the per-object blob write latency every
+	// commit must pay.
+	BlobPutLatency time.Duration
+	// Table tunes segment sizing.
+	Table core.Config
+}
+
+// NewWarehouse builds the baseline over a fresh simulated blob store.
+func NewWarehouse(cfg WarehouseConfig) (*Warehouse, error) {
+	if cfg.Partitions <= 0 {
+		cfg.Partitions = 1
+	}
+	store := blob.NewSimulator(blob.NewMemory(), cfg.BlobPutLatency, 0)
+	c, err := cluster.New(cluster.Config{
+		Name:         "cdw",
+		Partitions:   cfg.Partitions,
+		Blob:         store,
+		CommitMode:   cluster.CommitBlob,
+		Table:        cfg.Table,
+		ChunkRecords: 1, // every commit ships to the blob store
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Warehouse{cluster: c}, nil
+}
+
+// CreateTable strips index and uniqueness features (unsupported by the
+// warehouse class) and creates the columnstore table.
+func (w *Warehouse) CreateTable(name string, schema *types.Schema) error {
+	stripped := *schema
+	stripped.SecondaryKeys = nil
+	stripped.UniqueKey = nil
+	return w.cluster.CreateTable(name, &stripped)
+}
+
+// BulkLoad ingests rows through the batch path.
+func (w *Warehouse) BulkLoad(table string, rows []types.Row) error {
+	return w.cluster.BulkLoad(table, rows)
+}
+
+// Insert commits rows, paying the blob write latency.
+func (w *Warehouse) Insert(table string, rows []types.Row) error {
+	_, err := w.cluster.Insert(table, rows, core.InsertOptions{})
+	return err
+}
+
+// Views exposes per-partition snapshots for analytics.
+func (w *Warehouse) Views(table string) ([]*core.View, error) {
+	return w.cluster.Views(table)
+}
+
+// Flush forces buffered rows into columnstore segments.
+func (w *Warehouse) Flush(table string) error { return w.cluster.Flush(table) }
+
+// GetByUnique always fails: the warehouse has no unique keys or point-read
+// indexes.
+func (w *Warehouse) GetByUnique(string, []types.Value) (types.Row, bool, error) {
+	return nil, false, fmt.Errorf("%w: point reads by key (no indexes)", ErrUnsupported)
+}
+
+// UpdateByKey always fails: no row-level locking or keyed updates.
+func (w *Warehouse) UpdateByKey(string, []types.Value, func(types.Row) types.Row) error {
+	return fmt.Errorf("%w: keyed updates (no row-level locking)", ErrUnsupported)
+}
+
+// SupportsTPCC reports false (§6, Figure 5).
+func (w *Warehouse) SupportsTPCC() bool { return false }
+
+// Close stops the cluster.
+func (w *Warehouse) Close() { w.cluster.Close() }

@@ -1,0 +1,191 @@
+// Package blob simulates the cloud blob storage tier (§3): an object store
+// with high durability, modest availability, immutable objects and
+// latencies far above local storage. Implementations are pluggable; the
+// latency/availability model is injected by wrapping any Store in a
+// Simulator so experiments can reproduce the cost of committing to blob
+// storage versus committing locally (§3.1, Table 3 test case 5).
+package blob
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrNotFound is returned when an object does not exist.
+var ErrNotFound = errors.New("blob: object not found")
+
+// ErrUnavailable is returned while the simulated store is in an outage
+// window (S3 promises 11 nines of durability but only 3 nines of
+// availability, §3.1).
+var ErrUnavailable = errors.New("blob: store temporarily unavailable")
+
+// Store is the object-store contract the engine depends on. Objects are
+// immutable once written, matching cloud blob stores ("cloud blob stores
+// typically don't support efficient file updates", §3.1).
+type Store interface {
+	// Put stores data under key. Overwriting an existing key is allowed
+	// (used only for idempotent re-uploads of identical content).
+	Put(key string, data []byte) error
+	// Get returns the object contents.
+	Get(key string) ([]byte, error)
+	// Delete removes the object; deleting a missing key is not an error.
+	Delete(key string) error
+	// List returns the keys with the given prefix in lexicographic order.
+	List(prefix string) ([]string, error)
+}
+
+// Memory is an in-memory Store.
+type Memory struct {
+	mu      sync.RWMutex
+	objects map[string][]byte
+}
+
+// NewMemory returns an empty in-memory store.
+func NewMemory() *Memory { return &Memory{objects: make(map[string][]byte)} }
+
+// Put implements Store.
+func (m *Memory) Put(key string, data []byte) error {
+	cp := append([]byte(nil), data...)
+	m.mu.Lock()
+	m.objects[key] = cp
+	m.mu.Unlock()
+	return nil
+}
+
+// Get implements Store.
+func (m *Memory) Get(key string) ([]byte, error) {
+	m.mu.RLock()
+	data, ok := m.objects[key]
+	m.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	return append([]byte(nil), data...), nil
+}
+
+// Delete implements Store.
+func (m *Memory) Delete(key string) error {
+	m.mu.Lock()
+	delete(m.objects, key)
+	m.mu.Unlock()
+	return nil
+}
+
+// List implements Store.
+func (m *Memory) List(prefix string) ([]string, error) {
+	m.mu.RLock()
+	var keys []string
+	for k := range m.objects {
+		if strings.HasPrefix(k, prefix) {
+			keys = append(keys, k)
+		}
+	}
+	m.mu.RUnlock()
+	sort.Strings(keys)
+	return keys, nil
+}
+
+// Size returns the number of stored objects.
+func (m *Memory) Size() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.objects)
+}
+
+// Bytes returns the total stored payload size.
+func (m *Memory) Bytes() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	total := 0
+	for _, v := range m.objects {
+		total += len(v)
+	}
+	return total
+}
+
+// Stats counts operations against a simulated store.
+type Stats struct {
+	Puts, Gets, Deletes, Lists atomic.Int64
+	BytesPut, BytesGot         atomic.Int64
+}
+
+// Simulator wraps a Store with injected per-operation latency and an
+// availability switch. Latency is modeled, not slept, when Clock is set;
+// by default it sleeps, which is what the end-to-end latency experiments
+// use.
+type Simulator struct {
+	inner       Store
+	putLatency  time.Duration
+	getLatency  time.Duration
+	unavailable atomic.Bool
+	// Stats is exported for harness assertions.
+	Stats Stats
+}
+
+// NewSimulator wraps inner with the given operation latencies.
+func NewSimulator(inner Store, putLatency, getLatency time.Duration) *Simulator {
+	return &Simulator{inner: inner, putLatency: putLatency, getLatency: getLatency}
+}
+
+// SetUnavailable toggles a simulated outage: all operations fail with
+// ErrUnavailable until re-enabled.
+func (s *Simulator) SetUnavailable(down bool) { s.unavailable.Store(down) }
+
+func (s *Simulator) check() error {
+	if s.unavailable.Load() {
+		return ErrUnavailable
+	}
+	return nil
+}
+
+// Put implements Store with injected write latency.
+func (s *Simulator) Put(key string, data []byte) error {
+	if err := s.check(); err != nil {
+		return err
+	}
+	if s.putLatency > 0 {
+		time.Sleep(s.putLatency)
+	}
+	s.Stats.Puts.Add(1)
+	s.Stats.BytesPut.Add(int64(len(data)))
+	return s.inner.Put(key, data)
+}
+
+// Get implements Store with injected read latency.
+func (s *Simulator) Get(key string) ([]byte, error) {
+	if err := s.check(); err != nil {
+		return nil, err
+	}
+	if s.getLatency > 0 {
+		time.Sleep(s.getLatency)
+	}
+	s.Stats.Gets.Add(1)
+	data, err := s.inner.Get(key)
+	if err == nil {
+		s.Stats.BytesGot.Add(int64(len(data)))
+	}
+	return data, err
+}
+
+// Delete implements Store.
+func (s *Simulator) Delete(key string) error {
+	if err := s.check(); err != nil {
+		return err
+	}
+	s.Stats.Deletes.Add(1)
+	return s.inner.Delete(key)
+}
+
+// List implements Store.
+func (s *Simulator) List(prefix string) ([]string, error) {
+	if err := s.check(); err != nil {
+		return nil, err
+	}
+	s.Stats.Lists.Add(1)
+	return s.inner.List(prefix)
+}

@@ -1,0 +1,190 @@
+package blob
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestMemoryPutGetDeleteList(t *testing.T) {
+	m := NewMemory()
+	if err := m.Put("a/1", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	m.Put("a/2", []byte("yy"))
+	m.Put("b/1", []byte("z"))
+	got, err := m.Get("a/1")
+	if err != nil || string(got) != "x" {
+		t.Fatalf("Get = %q, %v", got, err)
+	}
+	if _, err := m.Get("missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing Get = %v", err)
+	}
+	keys, _ := m.List("a/")
+	if !reflect.DeepEqual(keys, []string{"a/1", "a/2"}) {
+		t.Fatalf("List = %v", keys)
+	}
+	if err := m.Delete("a/1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Get("a/1"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("deleted object still readable")
+	}
+	if m.Size() != 2 || m.Bytes() != 3 {
+		t.Fatalf("Size=%d Bytes=%d", m.Size(), m.Bytes())
+	}
+}
+
+func TestGetReturnsCopy(t *testing.T) {
+	m := NewMemory()
+	m.Put("k", []byte("abc"))
+	got, _ := m.Get("k")
+	got[0] = 'X'
+	again, _ := m.Get("k")
+	if string(again) != "abc" {
+		t.Fatal("Get exposed internal buffer")
+	}
+}
+
+func TestSimulatorLatencyAndStats(t *testing.T) {
+	sim := NewSimulator(NewMemory(), 5*time.Millisecond, 0)
+	start := time.Now()
+	sim.Put("k", []byte("v"))
+	if elapsed := time.Since(start); elapsed < 5*time.Millisecond {
+		t.Fatalf("Put returned in %v, want >= 5ms injected latency", elapsed)
+	}
+	if sim.Stats.Puts.Load() != 1 || sim.Stats.BytesPut.Load() != 1 {
+		t.Fatal("stats not recorded")
+	}
+	if _, err := sim.Get("k"); err != nil {
+		t.Fatal(err)
+	}
+	if sim.Stats.Gets.Load() != 1 {
+		t.Fatal("get stats not recorded")
+	}
+}
+
+func TestSimulatorUnavailability(t *testing.T) {
+	sim := NewSimulator(NewMemory(), 0, 0)
+	sim.Put("k", []byte("v"))
+	sim.SetUnavailable(true)
+	if err := sim.Put("k2", nil); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("Put during outage = %v", err)
+	}
+	if _, err := sim.Get("k"); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("Get during outage = %v", err)
+	}
+	if _, err := sim.List(""); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("List during outage = %v", err)
+	}
+	sim.SetUnavailable(false)
+	if _, err := sim.Get("k"); err != nil {
+		t.Fatalf("Get after outage = %v", err)
+	}
+}
+
+func TestFileCacheHitMissEvict(t *testing.T) {
+	store := NewMemory()
+	store.Put("cold", make([]byte, 10))
+	c := NewFileCache(store, 25)
+
+	// Local files are pinned until uploaded.
+	c.AddLocal("f1", make([]byte, 10))
+	c.AddLocal("f2", make([]byte, 10))
+	c.AddLocal("f3", make([]byte, 10)) // over budget, but everything pinned
+	if c.CachedBytes() != 30 {
+		t.Fatalf("pinned files evicted: %d bytes", c.CachedBytes())
+	}
+	c.MarkUploaded("f1")
+	c.MarkUploaded("f2")
+	// Eviction happens on unpin; the coldest unpinned file (f1) goes.
+	if c.CachedBytes() > 25 {
+		t.Fatalf("cache over budget after unpin: %d", c.CachedBytes())
+	}
+	if c.Contains("f1") {
+		t.Fatal("f1 should have been evicted (LRU)")
+	}
+	if !c.Contains("f3") {
+		t.Fatal("pinned f3 must remain")
+	}
+
+	// Cold read fetches from the blob store and caches.
+	if _, err := c.Get("cold"); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses, _ := c.Stats()
+	if misses != 1 {
+		t.Fatalf("misses = %d", misses)
+	}
+	c.Get("cold")
+	hits, _, _ = c.Stats()
+	if hits != 1 {
+		t.Fatalf("hits = %d", hits)
+	}
+}
+
+func TestFileCacheMissingObject(t *testing.T) {
+	c := NewFileCache(NewMemory(), 100)
+	if _, err := c.Get("nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get missing = %v", err)
+	}
+}
+
+func TestFileCacheRemove(t *testing.T) {
+	c := NewFileCache(NewMemory(), 100)
+	c.AddLocal("f", make([]byte, 10))
+	c.Remove("f")
+	if c.Contains("f") || c.CachedBytes() != 0 {
+		t.Fatal("Remove did not drop the entry")
+	}
+}
+
+func TestDiskStoreRoundTrip(t *testing.T) {
+	d, err := NewDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Put("db/0/data/file-1", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	d.Put("db/0/log/000001", []byte("chunk"))
+	d.Put("db/1/log/000001", []byte("other"))
+	got, err := d.Get("db/0/data/file-1")
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("Get = %q, %v", got, err)
+	}
+	if _, err := d.Get("missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing = %v", err)
+	}
+	keys, err := d.List("db/0/")
+	if err != nil || len(keys) != 2 || keys[0] != "db/0/data/file-1" {
+		t.Fatalf("List = %v, %v", keys, err)
+	}
+	if err := d.Delete("db/0/data/file-1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Delete("db/0/data/file-1"); err != nil {
+		t.Fatal("double delete should be nil")
+	}
+	keys, _ = d.List("db/0/")
+	if len(keys) != 1 {
+		t.Fatalf("after delete List = %v", keys)
+	}
+}
+
+func TestDiskStoreWorksAsClusterBacking(t *testing.T) {
+	// The overwrite case: re-uploading identical content must succeed.
+	d, err := NewDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Put("k", []byte("v1"))
+	if err := d.Put("k", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := d.Get("k")
+	if string(got) != "v2" {
+		t.Fatalf("overwrite lost: %q", got)
+	}
+}

@@ -1,0 +1,145 @@
+package blob
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+)
+
+// FileCache is the local data-file cache of §3.1: hot columnstore data
+// files are kept on local storage while cold files live only in blob
+// storage and are fetched on demand. Files not yet uploaded to the blob
+// store are pinned and can never be evicted (they are the only copy).
+type FileCache struct {
+	mu       sync.Mutex
+	store    Store
+	maxBytes int
+	curBytes int
+	lru      *list.List // of *cacheEntry, front = most recent
+	entries  map[string]*list.Element
+
+	// counters for the experiments
+	hits, misses, evictions int64
+}
+
+type cacheEntry struct {
+	key    string
+	data   []byte
+	pinned bool
+}
+
+// NewFileCache returns a cache backed by store, holding at most maxBytes of
+// unpinned file data.
+func NewFileCache(store Store, maxBytes int) *FileCache {
+	return &FileCache{
+		store:    store,
+		maxBytes: maxBytes,
+		lru:      list.New(),
+		entries:  make(map[string]*list.Element),
+	}
+}
+
+// AddLocal registers a newly written local file. It is pinned until
+// MarkUploaded is called (the blob store does not have it yet).
+func (c *FileCache) AddLocal(key string, data []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(el)
+		return
+	}
+	e := &cacheEntry{key: key, data: data, pinned: true}
+	c.entries[key] = c.lru.PushFront(e)
+	c.curBytes += len(data)
+	c.evict()
+}
+
+// MarkUploaded unpins a file after its blob upload completes, making it
+// evictable.
+func (c *FileCache) MarkUploaded(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).pinned = false
+		c.evict()
+	}
+}
+
+// Get returns the file contents, from cache when hot or from the blob
+// store when cold (re-inserting it as hot).
+func (c *FileCache) Get(key string) ([]byte, error) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(el)
+		data := el.Value.(*cacheEntry).data
+		c.hits++
+		c.mu.Unlock()
+		return data, nil
+	}
+	c.misses++
+	c.mu.Unlock()
+
+	data, err := c.store.Get(key)
+	if err != nil {
+		return nil, fmt.Errorf("file cache miss for %s: %w", key, err)
+	}
+	c.mu.Lock()
+	if _, ok := c.entries[key]; !ok {
+		e := &cacheEntry{key: key, data: data}
+		c.entries[key] = c.lru.PushFront(e)
+		c.curBytes += len(data)
+		c.evict()
+	}
+	c.mu.Unlock()
+	return data, nil
+}
+
+// Remove drops a file from the cache (e.g. after a merge retires its
+// segment).
+func (c *FileCache) Remove(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.curBytes -= len(el.Value.(*cacheEntry).data)
+		c.lru.Remove(el)
+		delete(c.entries, key)
+	}
+}
+
+// evict drops cold unpinned files until the cache fits. Caller holds mu.
+func (c *FileCache) evict() {
+	el := c.lru.Back()
+	for c.curBytes > c.maxBytes && el != nil {
+		prev := el.Prev()
+		e := el.Value.(*cacheEntry)
+		if !e.pinned {
+			c.curBytes -= len(e.data)
+			c.lru.Remove(el)
+			delete(c.entries, e.key)
+			c.evictions++
+		}
+		el = prev
+	}
+}
+
+// Stats returns (hits, misses, evictions) counters.
+func (c *FileCache) Stats() (hits, misses, evictions int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.evictions
+}
+
+// CachedBytes returns the current cached payload size.
+func (c *FileCache) CachedBytes() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.curBytes
+}
+
+// Contains reports whether the key is currently cached locally.
+func (c *FileCache) Contains(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.entries[key]
+	return ok
+}

@@ -1,0 +1,89 @@
+package blob
+
+import (
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Disk is a Store backed by a local directory, for runs that want blob
+// contents to survive the process. Keys are hex-encoded into flat file
+// names so arbitrary key characters are safe.
+type Disk struct {
+	dir string
+}
+
+// NewDisk creates (if needed) and opens a directory-backed store.
+func NewDisk(dir string) (*Disk, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("blob: create %s: %w", dir, err)
+	}
+	return &Disk{dir: dir}, nil
+}
+
+func (d *Disk) path(key string) string {
+	return filepath.Join(d.dir, hex.EncodeToString([]byte(key)))
+}
+
+// Put implements Store with an atomic rename so readers never observe a
+// partial object.
+func (d *Disk) Put(key string, data []byte) error {
+	tmp, err := os.CreateTemp(d.dir, "put-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), d.path(key))
+}
+
+// Get implements Store.
+func (d *Disk) Get(key string) ([]byte, error) {
+	data, err := os.ReadFile(d.path(key))
+	if os.IsNotExist(err) {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	return data, err
+}
+
+// Delete implements Store.
+func (d *Disk) Delete(key string) error {
+	err := os.Remove(d.path(key))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	return err
+}
+
+// List implements Store.
+func (d *Disk) List(prefix string) ([]string, error) {
+	entries, err := os.ReadDir(d.dir)
+	if err != nil {
+		return nil, err
+	}
+	var keys []string
+	for _, e := range entries {
+		if e.IsDir() || strings.HasPrefix(e.Name(), "put-") {
+			continue
+		}
+		raw, err := hex.DecodeString(e.Name())
+		if err != nil {
+			continue
+		}
+		if strings.HasPrefix(string(raw), prefix) {
+			keys = append(keys, string(raw))
+		}
+	}
+	sort.Strings(keys)
+	return keys, nil
+}

@@ -1,0 +1,554 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"s2db/internal/blob"
+	"s2db/internal/core"
+	"s2db/internal/types"
+)
+
+// Config describes a cluster.
+type Config struct {
+	// Name is the database name (blob key namespace).
+	Name string
+	// Partitions is the number of hash partitions.
+	Partitions int
+	// SyncReplicas is the number of HA replicas per partition that ack
+	// commits (§2: "data is replicated synchronously to the replicas as
+	// transactions commit").
+	SyncReplicas int
+	// Blob enables separated storage when non-nil (§3).
+	Blob blob.Store
+	// CacheBytes bounds the per-partition local data-file cache.
+	CacheBytes int
+	// CommitMode selects local-commit (S2DB) or blob-commit (CDW baseline).
+	CommitMode CommitMode
+	// ReplicationLatency simulates the network between master and replica.
+	ReplicationLatency time.Duration
+	// Table configures per-partition table storage.
+	Table core.Config
+	// CommitTimeout bounds durability waits.
+	CommitTimeout time.Duration
+	// ChunkRecords and SnapshotEvery tune blob staging.
+	ChunkRecords, SnapshotEvery int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Name == "" {
+		c.Name = "db"
+	}
+	if c.Partitions <= 0 {
+		c.Partitions = 1
+	}
+	if c.CommitTimeout <= 0 {
+		c.CommitTimeout = 10 * time.Second
+	}
+	return c
+}
+
+// Cluster is a database: hash-partitioned masters, their HA replicas, blob
+// staging and any attached read-only workspaces.
+type Cluster struct {
+	cfg Config
+
+	mu        sync.RWMutex
+	catalog   map[string]*types.Schema
+	masters   []*Partition
+	replicas  [][]*Partition
+	links     [][]*Link
+	stagers   []*Stager
+	workspace map[string]*Workspace
+
+	nextReplicaID int
+}
+
+// New builds and starts a cluster.
+func New(cfg Config) (*Cluster, error) {
+	cfg = cfg.withDefaults()
+	if cfg.CommitMode == CommitBlob && cfg.Blob == nil {
+		return nil, fmt.Errorf("cluster: CommitBlob requires a blob store")
+	}
+	c := &Cluster{
+		cfg:       cfg,
+		catalog:   make(map[string]*types.Schema),
+		workspace: make(map[string]*Workspace),
+	}
+	for i := 0; i < cfg.Partitions; i++ {
+		files := NewPartitionFiles(c.blobPrefix(i), cfg.Blob, cfg.CacheBytes)
+		p := newPartition(cfg.Name, i, RoleMaster, cfg.Table, files, cfg.CommitMode, 0)
+		p.setMinSyncers(cfg.SyncReplicas)
+		c.masters = append(c.masters, p)
+		var reps []*Partition
+		var links []*Link
+		for r := 0; r < cfg.SyncReplicas; r++ {
+			rep := c.newReplicaPartition(i)
+			link := StartLink(p, rep, true, cfg.ReplicationLatency, c.replicaID())
+			reps = append(reps, rep)
+			links = append(links, link)
+		}
+		c.replicas = append(c.replicas, reps)
+		c.links = append(c.links, links)
+		stager := NewStager(p, files, cfg.Blob, cfg.ChunkRecords, cfg.SnapshotEvery)
+		if cfg.Blob != nil {
+			stager.Start()
+		}
+		c.stagers = append(c.stagers, stager)
+	}
+	return c, nil
+}
+
+func (c *Cluster) blobPrefix(part int) string {
+	return fmt.Sprintf("%s/%d/", c.cfg.Name, part)
+}
+
+func (c *Cluster) replicaID() int {
+	c.nextReplicaID++
+	return c.nextReplicaID
+}
+
+// newReplicaPartition creates a replica with background maintenance
+// disabled (replicas replay the master's flush/merge records instead).
+func (c *Cluster) newReplicaPartition(part int) *Partition {
+	tcfg := c.cfg.Table
+	tcfg.Background = false
+	files := NewPartitionFiles(c.blobPrefix(part), c.cfg.Blob, c.cfg.CacheBytes)
+	return newPartition(c.cfg.Name, part, RoleReplica, tcfg, files, c.cfg.CommitMode, 0)
+}
+
+// Partitions returns the number of partitions.
+func (c *Cluster) Partitions() int { return c.cfg.Partitions }
+
+// Master returns the master partition i.
+func (c *Cluster) Master(i int) *Partition {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.masters[i]
+}
+
+// Stager returns partition i's blob stager.
+func (c *Cluster) Stager(i int) *Stager { return c.stagers[i] }
+
+// CreateTable creates a table on every master, HA replica and workspace.
+func (c *Cluster) CreateTable(name string, schema *types.Schema) error {
+	if err := schema.Validate(); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.catalog[name]; dup {
+		return fmt.Errorf("cluster: table %s already exists", name)
+	}
+	for _, p := range c.masters {
+		if err := p.CreateTable(name, schema); err != nil {
+			return err
+		}
+	}
+	for _, reps := range c.replicas {
+		for _, p := range reps {
+			if err := p.CreateTable(name, schema); err != nil {
+				return err
+			}
+		}
+	}
+	for _, ws := range c.workspace {
+		for _, p := range ws.parts {
+			if err := p.CreateTable(name, schema); err != nil {
+				return err
+			}
+		}
+	}
+	c.catalog[name] = schema
+	return nil
+}
+
+// Schema returns the catalog entry for a table.
+func (c *Cluster) Schema(name string) (*types.Schema, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	s, ok := c.catalog[name]
+	if !ok {
+		return nil, fmt.Errorf("cluster: no table %s", name)
+	}
+	return s, nil
+}
+
+// routeRow picks the partition for a row by hashing its shard key (§2).
+func (c *Cluster) routeRow(schema *types.Schema, r types.Row) int {
+	return int(schema.ShardHash(r) % uint64(c.cfg.Partitions))
+}
+
+// Insert routes rows to their shard partitions, applies them with the given
+// options and waits for durability.
+func (c *Cluster) Insert(table string, rows []types.Row, opts core.InsertOptions) (core.InsertResult, error) {
+	schema, err := c.Schema(table)
+	if err != nil {
+		return core.InsertResult{}, err
+	}
+	byPart := make(map[int][]types.Row)
+	for _, r := range rows {
+		p := c.routeRow(schema, r)
+		byPart[p] = append(byPart[p], r)
+	}
+	var total core.InsertResult
+	for pi, batch := range byPart {
+		p := c.Master(pi)
+		tbl, err := p.Table(table)
+		if err != nil {
+			return total, err
+		}
+		res, err := tbl.InsertBatch(batch, opts)
+		if err != nil {
+			return total, err
+		}
+		total.Inserted += res.Inserted
+		total.Skipped += res.Skipped
+		total.Replaced += res.Replaced
+		total.Updated += res.Updated
+		p.NoteAppend()
+		if err := p.WaitDurable(res.LSN, c.cfg.CommitTimeout); err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// BulkLoad routes rows and loads them directly into columnstore segments.
+func (c *Cluster) BulkLoad(table string, rows []types.Row) error {
+	schema, err := c.Schema(table)
+	if err != nil {
+		return err
+	}
+	byPart := make(map[int][]types.Row)
+	for _, r := range rows {
+		p := c.routeRow(schema, r)
+		byPart[p] = append(byPart[p], r)
+	}
+	for pi, batch := range byPart {
+		p := c.Master(pi)
+		tbl, err := p.Table(table)
+		if err != nil {
+			return err
+		}
+		if err := tbl.BulkLoad(batch); err != nil {
+			return err
+		}
+		p.NoteAppend()
+		if err := p.WaitDurable(p.Log().Head()-1, c.cfg.CommitTimeout); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// GetByUnique routes a unique-key point read: directly to one partition
+// when the shard key is a subset of the unique key, otherwise to all.
+func (c *Cluster) GetByUnique(table string, vals []types.Value) (types.Row, bool, error) {
+	schema, err := c.Schema(table)
+	if err != nil {
+		return nil, false, err
+	}
+	uk := schema.UniqueKey
+	if len(uk) == 0 {
+		return nil, false, core.ErrNoUniqueKey
+	}
+	posOf := map[int]int{}
+	for i, col := range uk {
+		posOf[col] = i
+	}
+	routable := true
+	shardVals := make([]types.Value, 0, len(schema.ShardColumns()))
+	for _, col := range schema.ShardColumns() {
+		i, ok := posOf[col]
+		if !ok {
+			routable = false
+			break
+		}
+		shardVals = append(shardVals, vals[i])
+	}
+	try := func(pi int) (types.Row, bool, error) {
+		tbl, err := c.Master(pi).Table(table)
+		if err != nil {
+			return nil, false, err
+		}
+		return tbl.GetByUnique(vals)
+	}
+	if routable {
+		return try(int(types.HashMany(shardVals) % uint64(c.cfg.Partitions)))
+	}
+	for pi := 0; pi < c.cfg.Partitions; pi++ {
+		if r, ok, err := try(pi); err != nil || ok {
+			return r, ok, err
+		}
+	}
+	return nil, false, nil
+}
+
+// UpdateWhere fans an update out to every partition and waits durable.
+func (c *Cluster) UpdateWhere(table string, w core.Where, set func(types.Row) types.Row) (int, error) {
+	total := 0
+	for pi := 0; pi < c.cfg.Partitions; pi++ {
+		p := c.Master(pi)
+		tbl, err := p.Table(table)
+		if err != nil {
+			return total, err
+		}
+		n, err := tbl.UpdateWhere(w, set)
+		if err != nil {
+			return total, err
+		}
+		total += n
+		p.NoteAppend()
+		if n > 0 {
+			if err := p.WaitDurable(p.Log().Head()-1, c.cfg.CommitTimeout); err != nil {
+				return total, err
+			}
+		}
+	}
+	return total, nil
+}
+
+// DeleteWhere fans a delete out to every partition and waits durable.
+func (c *Cluster) DeleteWhere(table string, w core.Where) (int, error) {
+	total := 0
+	for pi := 0; pi < c.cfg.Partitions; pi++ {
+		p := c.Master(pi)
+		tbl, err := p.Table(table)
+		if err != nil {
+			return total, err
+		}
+		n, err := tbl.DeleteWhere(w)
+		if err != nil {
+			return total, err
+		}
+		total += n
+		p.NoteAppend()
+		if n > 0 {
+			if err := p.WaitDurable(p.Log().Head()-1, c.cfg.CommitTimeout); err != nil {
+				return total, err
+			}
+		}
+	}
+	return total, nil
+}
+
+// Views returns one consistent per-partition snapshot per master (§2.1.2:
+// partition-local snapshot isolation).
+func (c *Cluster) Views(table string) ([]*core.View, error) {
+	views := make([]*core.View, 0, c.cfg.Partitions)
+	for pi := 0; pi < c.cfg.Partitions; pi++ {
+		tbl, err := c.Master(pi).Table(table)
+		if err != nil {
+			return nil, err
+		}
+		views = append(views, tbl.Snapshot())
+	}
+	return views, nil
+}
+
+// Flush forces a flush on every master partition of the table.
+func (c *Cluster) Flush(table string) error {
+	for pi := 0; pi < c.cfg.Partitions; pi++ {
+		tbl, err := c.Master(pi).Table(table)
+		if err != nil {
+			return err
+		}
+		for tbl.BufferLen() > 0 {
+			if _, err := tbl.Flush(); err != nil {
+				return err
+			}
+		}
+		c.Master(pi).NoteAppend()
+	}
+	return nil
+}
+
+// FailMaster simulates losing the master of partition pi: the highest-acked
+// HA replica is promoted (§2: "replica partitions ... will be promoted to
+// master and take over running queries"). It returns an error when no
+// replica exists.
+func (c *Cluster) FailMaster(pi int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	reps := c.replicas[pi]
+	if len(reps) == 0 {
+		return fmt.Errorf("cluster: partition %d has no HA replica to promote", pi)
+	}
+	old := c.masters[pi]
+	// Stop replication out of the failed master.
+	for _, l := range c.links[pi] {
+		l.Stop()
+	}
+	old.Close()
+	// Pick the replica with the most applied records.
+	best := 0
+	for i, r := range reps {
+		if r.Applied() > reps[best].Applied() {
+			best = i
+		}
+	}
+	promoted := reps[best]
+	promoted.Promote(c.cfg.Table.Background)
+	promoted.setMinSyncers(min(c.cfg.SyncReplicas, len(reps)-1))
+	c.masters[pi] = promoted
+	// Re-attach the remaining replicas to the new master from their own
+	// positions.
+	var newReps []*Partition
+	var newLinks []*Link
+	for i, r := range reps {
+		if i == best {
+			continue
+		}
+		// A replica can only resume if it is not ahead of the new master
+		// and the new master still has the records it needs.
+		if r.Applied() <= promoted.Log().Head() && r.Applied() >= promoted.Log().Base() {
+			newLinks = append(newLinks, StartLinkFrom(promoted, r, true, c.cfg.ReplicationLatency, c.replicaID(), r.Applied()))
+			newReps = append(newReps, r)
+		}
+	}
+	c.replicas[pi] = newReps
+	c.links[pi] = newLinks
+	promoted.NoteAppend()
+	return nil
+}
+
+// ReplicationLag reports the maximum pending-record lag across all HA
+// replica links of the cluster.
+func (c *Cluster) ReplicationLag() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	lag := 0
+	for _, links := range c.links {
+		for _, l := range links {
+			if n := l.Lag(); n > lag {
+				lag = n
+			}
+		}
+	}
+	return lag
+}
+
+// Close stops everything.
+func (c *Cluster) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, ws := range c.workspace {
+		ws.close()
+	}
+	for _, links := range c.links {
+		for _, l := range links {
+			l.Stop()
+		}
+	}
+	for _, s := range c.stagers {
+		s.Close()
+	}
+	for _, p := range c.masters {
+		p.Close()
+	}
+	for _, reps := range c.replicas {
+		for _, p := range reps {
+			p.Close()
+		}
+	}
+}
+
+// TableNames lists catalog tables.
+func (c *Cluster) TableNames() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.catalog))
+	for n := range c.catalog {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// routeByUnique returns the partition holding the given unique key values
+// when the shard key is derivable from them, or -1.
+func (c *Cluster) routeByUnique(schema *types.Schema, vals []types.Value) int {
+	posOf := map[int]int{}
+	for i, col := range schema.UniqueKey {
+		posOf[col] = i
+	}
+	shardVals := make([]types.Value, 0, len(schema.ShardColumns()))
+	for _, col := range schema.ShardColumns() {
+		i, ok := posOf[col]
+		if !ok {
+			return -1
+		}
+		shardVals = append(shardVals, vals[i])
+	}
+	return int(types.HashMany(shardVals) % uint64(c.cfg.Partitions))
+}
+
+// UpdateByUnique performs a routed point update and waits for durability.
+func (c *Cluster) UpdateByUnique(table string, vals []types.Value, set func(types.Row) types.Row) (bool, error) {
+	schema, err := c.Schema(table)
+	if err != nil {
+		return false, err
+	}
+	apply := func(pi int) (bool, error) {
+		p := c.Master(pi)
+		tbl, err := p.Table(table)
+		if err != nil {
+			return false, err
+		}
+		ok, err := tbl.UpdateByUnique(vals, set)
+		if err != nil || !ok {
+			return ok, err
+		}
+		p.NoteAppend()
+		return true, p.WaitDurable(p.Log().Head()-1, c.cfg.CommitTimeout)
+	}
+	if pi := c.routeByUnique(schema, vals); pi >= 0 {
+		return apply(pi)
+	}
+	for pi := 0; pi < c.cfg.Partitions; pi++ {
+		if ok, err := apply(pi); err != nil || ok {
+			return ok, err
+		}
+	}
+	return false, nil
+}
+
+// DeleteByUnique performs a routed point delete and waits for durability.
+func (c *Cluster) DeleteByUnique(table string, vals []types.Value) (bool, error) {
+	schema, err := c.Schema(table)
+	if err != nil {
+		return false, err
+	}
+	apply := func(pi int) (bool, error) {
+		p := c.Master(pi)
+		tbl, err := p.Table(table)
+		if err != nil {
+			return false, err
+		}
+		ok, err := tbl.DeleteByUnique(vals)
+		if err != nil || !ok {
+			return ok, err
+		}
+		p.NoteAppend()
+		return true, p.WaitDurable(p.Log().Head()-1, c.cfg.CommitTimeout)
+	}
+	if pi := c.routeByUnique(schema, vals); pi >= 0 {
+		return apply(pi)
+	}
+	for pi := 0; pi < c.cfg.Partitions; pi++ {
+		if ok, err := apply(pi); err != nil || ok {
+			return ok, err
+		}
+	}
+	return false, nil
+}

@@ -1,0 +1,374 @@
+// Package cluster implements the distributed substrate of §2 and §3: hash
+// partitioning over leaf nodes, synchronous in-cluster replication with
+// early log shipping, separation of storage and compute via asynchronous
+// blob staging, read-only workspaces, failover, and point-in-time restore.
+// Nodes are in-process objects connected by simulated links; the latency
+// and durability contracts match the paper's architecture (see DESIGN.md
+// for the substitution table).
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"s2db/internal/core"
+	"s2db/internal/txn"
+	"s2db/internal/types"
+	"s2db/internal/wal"
+)
+
+// CommitMode selects what must happen before a write is acknowledged.
+type CommitMode uint8
+
+const (
+	// CommitLocal acknowledges once the log records are replicated
+	// in-memory to the sync replicas — S2DB's design (§3): "no blob store
+	// writes are required to commit a transaction".
+	CommitLocal CommitMode = iota
+	// CommitBlob acknowledges only after the records are uploaded to blob
+	// storage — the cloud-data-warehouse design the paper contrasts
+	// against (§3.1), used by the CDW baseline and the commit-path
+	// ablation.
+	CommitBlob
+)
+
+// Role distinguishes masters from replicas.
+type Role uint8
+
+const (
+	// RoleMaster serves reads and writes.
+	RoleMaster Role = iota
+	// RoleReplica applies the master's log; HA replicas ack for
+	// durability, workspace replicas do not (§3.2).
+	RoleReplica
+)
+
+// Partition is one shard of a database: a log, a timestamp domain and one
+// core.Table per logical table.
+type Partition struct {
+	ID   int
+	DB   string
+	role Role
+
+	oracle    *txn.Oracle
+	committer *core.Committer
+	log       *wal.Log
+	files     *PartitionFiles
+
+	mu     sync.RWMutex
+	tables map[string]*core.Table
+
+	tableCfg core.Config
+
+	// Durability machinery (master only).
+	commitMode CommitMode
+	durableMu  sync.Mutex
+	durableCh  chan struct{} // closed and replaced on watermark advance
+	acks       map[int]uint64
+	minSyncers int
+
+	// uploadedLSN advances as log chunks reach blob storage.
+	uploadedMu sync.Mutex
+	uploaded   uint64
+	uploadedCh chan struct{}
+
+	// appliedLSN is maintained on replicas.
+	appliedMu sync.Mutex
+	applied   uint64
+	appliedCh chan struct{}
+
+	closed chan struct{}
+	wg     sync.WaitGroup
+}
+
+func newPartition(db string, id int, role Role, tableCfg core.Config, files *PartitionFiles, commitMode CommitMode, logBase uint64) *Partition {
+	oracle := &txn.Oracle{}
+	log := wal.NewLog()
+	if logBase > 0 {
+		log.TruncateBefore(logBase) // aligns a replica log with the master's LSN space
+	}
+	p := &Partition{
+		ID: id, DB: db, role: role,
+		oracle:     oracle,
+		committer:  core.NewCommitter(oracle),
+		log:        log,
+		files:      files,
+		tables:     make(map[string]*core.Table),
+		tableCfg:   tableCfg,
+		commitMode: commitMode,
+		durableCh:  make(chan struct{}),
+		uploadedCh: make(chan struct{}),
+		appliedCh:  make(chan struct{}),
+		acks:       make(map[int]uint64),
+		closed:     make(chan struct{}),
+	}
+	return p
+}
+
+// Log exposes the partition log (replication, staging).
+func (p *Partition) Log() *wal.Log { return p.log }
+
+// Oracle exposes the partition's timestamp oracle.
+func (p *Partition) Oracle() *txn.Oracle { return p.oracle }
+
+// Role returns the current role.
+func (p *Partition) Role() Role {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.role
+}
+
+// CreateTable instantiates a table on this partition.
+func (p *Partition) CreateTable(name string, schema *types.Schema) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, exists := p.tables[name]; exists {
+		return fmt.Errorf("partition %d: table %s already exists", p.ID, name)
+	}
+	tbl, err := core.NewTable(name, schema, p.tableCfg, p.committer, p.log, p.files)
+	if err != nil {
+		return err
+	}
+	tbl.Start()
+	p.tables[name] = tbl
+	return nil
+}
+
+// Table returns the named table.
+func (p *Partition) Table(name string) (*core.Table, error) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	t, ok := p.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("partition %d: no table %s", p.ID, name)
+	}
+	return t, nil
+}
+
+// Tables snapshots the table map.
+func (p *Partition) Tables() map[string]*core.Table {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	out := make(map[string]*core.Table, len(p.tables))
+	for k, v := range p.tables {
+		out[k] = v
+	}
+	return out
+}
+
+// setMinSyncers configures how many sync-replica acks a commit needs.
+func (p *Partition) setMinSyncers(n int) {
+	p.durableMu.Lock()
+	p.minSyncers = n
+	p.recomputeDurableLocked()
+	p.durableMu.Unlock()
+}
+
+// Ack records a sync replica's received-LSN and advances the durable
+// watermark ("data is considered committed when it is replicated in-memory
+// to at least one replica partition", §3).
+func (p *Partition) Ack(replicaID int, lsn uint64) {
+	p.durableMu.Lock()
+	if lsn > p.acks[replicaID] {
+		p.acks[replicaID] = lsn
+	}
+	p.recomputeDurableLocked()
+	p.durableMu.Unlock()
+}
+
+// recomputeDurableLocked advances the log durable watermark to the
+// minSyncers-th highest ack (or the head when no sync replicas exist).
+func (p *Partition) recomputeDurableLocked() {
+	var newDurable uint64
+	if p.minSyncers <= 0 {
+		newDurable = p.log.Head()
+	} else {
+		// Collect acks and take the minSyncers-th largest.
+		acked := make([]uint64, 0, len(p.acks))
+		for _, l := range p.acks {
+			acked = append(acked, l)
+		}
+		if len(acked) < p.minSyncers {
+			return
+		}
+		for i := 0; i < p.minSyncers; i++ {
+			maxIdx := i
+			for j := i + 1; j < len(acked); j++ {
+				if acked[j] > acked[maxIdx] {
+					acked[j], acked[maxIdx] = acked[maxIdx], acked[j]
+				}
+			}
+		}
+		newDurable = acked[p.minSyncers-1]
+	}
+	if newDurable > p.log.Durable() {
+		p.log.MarkDurable(newDurable)
+		close(p.durableCh)
+		p.durableCh = make(chan struct{})
+	}
+}
+
+// NoteAppend is called after a local append when the partition has no sync
+// replicas, so single-node durability advances immediately.
+func (p *Partition) NoteAppend() {
+	p.durableMu.Lock()
+	p.recomputeDurableLocked()
+	p.durableMu.Unlock()
+}
+
+// WaitDurable blocks until the record at lsn is durable under the
+// partition's commit mode.
+func (p *Partition) WaitDurable(lsn uint64, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		if p.commitMode == CommitBlob {
+			p.uploadedMu.Lock()
+			ok := p.uploaded > lsn
+			ch := p.uploadedCh
+			p.uploadedMu.Unlock()
+			if ok {
+				return nil
+			}
+			if !waitCh(ch, deadline) {
+				return fmt.Errorf("partition %d: blob-commit wait timed out at LSN %d", p.ID, lsn)
+			}
+			continue
+		}
+		p.durableMu.Lock()
+		ok := p.log.Durable() > lsn
+		ch := p.durableCh
+		p.durableMu.Unlock()
+		if ok {
+			return nil
+		}
+		if !waitCh(ch, deadline) {
+			return fmt.Errorf("partition %d: replication wait timed out at LSN %d", p.ID, lsn)
+		}
+	}
+}
+
+func waitCh(ch chan struct{}, deadline time.Time) bool {
+	d := time.Until(deadline)
+	if d <= 0 {
+		return false
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ch:
+		return true
+	case <-t.C:
+		return false
+	}
+}
+
+// markUploaded advances the blob-upload watermark.
+func (p *Partition) markUploaded(lsn uint64) {
+	p.uploadedMu.Lock()
+	if lsn > p.uploaded {
+		p.uploaded = lsn
+		close(p.uploadedCh)
+		p.uploadedCh = make(chan struct{})
+	}
+	p.uploadedMu.Unlock()
+}
+
+// Uploaded returns the blob-upload watermark.
+func (p *Partition) Uploaded() uint64 {
+	p.uploadedMu.Lock()
+	defer p.uploadedMu.Unlock()
+	return p.uploaded
+}
+
+// markApplied advances a replica's applied watermark.
+func (p *Partition) markApplied(lsn uint64) {
+	p.appliedMu.Lock()
+	if lsn > p.applied {
+		p.applied = lsn
+		close(p.appliedCh)
+		p.appliedCh = make(chan struct{})
+	}
+	p.appliedMu.Unlock()
+}
+
+// Applied returns the replica's applied watermark.
+func (p *Partition) Applied() uint64 {
+	p.appliedMu.Lock()
+	defer p.appliedMu.Unlock()
+	return p.applied
+}
+
+// WaitApplied blocks until the replica has applied up to lsn.
+func (p *Partition) WaitApplied(lsn uint64, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		p.appliedMu.Lock()
+		ok := p.applied >= lsn
+		ch := p.appliedCh
+		p.appliedMu.Unlock()
+		if ok {
+			return nil
+		}
+		if !waitCh(ch, deadline) {
+			return fmt.Errorf("partition %d: apply wait timed out at LSN %d", p.ID, lsn)
+		}
+	}
+}
+
+// ApplyRecord replays one master log record on a replica partition: the
+// record is appended to the local log (keeping LSNs aligned for future
+// promotion) and applied to the right table.
+func (p *Partition) ApplyRecord(rec wal.Record) error {
+	if err := p.log.AppendRecord(rec); err != nil {
+		return fmt.Errorf("partition %d: %w", p.ID, err)
+	}
+	name, err := core.TableOfRecord(rec)
+	if err != nil {
+		return err
+	}
+	tbl, err := p.Table(name)
+	if err != nil {
+		return err
+	}
+	if err := tbl.Apply(rec); err != nil {
+		return err
+	}
+	p.markApplied(rec.LSN + 1)
+	return nil
+}
+
+// Promote turns a replica into a master (failover, §2): HA replicas are
+// "hot copies ... such that a replica can pick up the query workload
+// immediately". Background flush/merge, disabled while replaying the old
+// master's log, starts now.
+func (p *Partition) Promote(background bool) {
+	p.mu.Lock()
+	p.role = RoleMaster
+	tables := make([]*core.Table, 0, len(p.tables))
+	for _, t := range p.tables {
+		tables = append(tables, t)
+	}
+	p.mu.Unlock()
+	if background {
+		for _, t := range tables {
+			t.EnableBackground()
+		}
+	}
+}
+
+// Close stops background table work.
+func (p *Partition) Close() {
+	select {
+	case <-p.closed:
+		return
+	default:
+		close(p.closed)
+	}
+	p.mu.RLock()
+	for _, t := range p.tables {
+		t.Close()
+	}
+	p.mu.RUnlock()
+	p.wg.Wait()
+}

@@ -1,0 +1,110 @@
+package cluster
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"s2db/internal/wal"
+)
+
+// Link streams one master partition's log to a replica partition. Records
+// ship as they are appended — before their transactions "commit" in any
+// global sense — which is the out-of-order/early replication property that
+// keeps commit latency low and predictable (§3). Sync links ack receipt
+// (in-memory durability) before applying.
+type Link struct {
+	master  *Partition
+	replica *Partition
+	syncAck bool
+	latency time.Duration
+	id      int
+
+	sub  *wal.Subscription
+	stop chan struct{}
+	wg   sync.WaitGroup
+
+	applyErr atomic.Value // error
+}
+
+// StartLink subscribes the replica from LSN 0.
+func StartLink(master, replica *Partition, syncAck bool, latency time.Duration, id int) *Link {
+	return StartLinkFrom(master, replica, syncAck, latency, id, replica.Log().Head())
+}
+
+// StartLinkFrom subscribes the replica from a specific LSN (resuming after
+// restore or failover).
+func StartLinkFrom(master, replica *Partition, syncAck bool, latency time.Duration, id int, from uint64) *Link {
+	sub, err := master.Log().Subscribe(from)
+	if err != nil {
+		// The master has truncated past `from`; the caller must restore
+		// the replica from blob first. Surface via a dead link.
+		l := &Link{master: master, replica: replica, id: id, stop: make(chan struct{})}
+		l.applyErr.Store(err)
+		return l
+	}
+	l := &Link{
+		master: master, replica: replica, syncAck: syncAck,
+		latency: latency, id: id, sub: sub,
+		stop: make(chan struct{}),
+	}
+	l.wg.Add(1)
+	go l.run()
+	return l
+}
+
+func (l *Link) run() {
+	defer l.wg.Done()
+	for {
+		rec, ok := l.sub.Next() // Stop cancels the subscription, waking us
+		if !ok {
+			return
+		}
+		select {
+		case <-l.stop:
+			return
+		default:
+		}
+		if l.latency > 0 {
+			time.Sleep(l.latency)
+		}
+		// Ack on receipt: the record is now "replicated in-memory" (§3).
+		if l.syncAck {
+			l.master.Ack(l.id, rec.LSN+1)
+		}
+		if err := l.replica.ApplyRecord(rec); err != nil {
+			l.applyErr.Store(err)
+			return
+		}
+	}
+}
+
+// Lag returns the number of records shipped but not yet consumed.
+func (l *Link) Lag() int {
+	if l.sub == nil {
+		return 0
+	}
+	return l.sub.Lag()
+}
+
+// Err returns a terminal apply error, if any.
+func (l *Link) Err() error {
+	if v := l.applyErr.Load(); v != nil {
+		return v.(error)
+	}
+	return nil
+}
+
+// Stop tears the link down.
+func (l *Link) Stop() {
+	select {
+	case <-l.stop:
+		return
+	default:
+		close(l.stop)
+	}
+	if l.sub != nil {
+		l.sub.Cancel()
+	}
+	l.wg.Wait()
+}

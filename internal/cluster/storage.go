@@ -1,0 +1,343 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"s2db/internal/blob"
+	"s2db/internal/wal"
+)
+
+// PartitionFiles implements core.FileStore over the local data-file cache
+// with asynchronous blob staging (§3.1): newly written segment files are
+// pinned locally and queued for upload; once uploaded they become evictable
+// and cold reads fall through to the blob store.
+type PartitionFiles struct {
+	prefix string // blob key prefix, e.g. "files/db/0/"
+	cache  *blob.FileCache
+	store  blob.Store // nil when running without separated storage
+
+	mu      sync.Mutex
+	pending []string
+	pendCh  chan struct{}
+}
+
+// NewPartitionFiles builds the file layer. store may be nil (shared-nothing
+// mode: files stay local and pinned).
+func NewPartitionFiles(prefix string, store blob.Store, cacheBytes int) *PartitionFiles {
+	var backing blob.Store
+	if store != nil {
+		// Data files live under "<prefix>data/" in the blob store; cold
+		// cache misses must read them back from the same namespace the
+		// stager uploads to.
+		backing = prefixedStore{store: store, prefix: prefix + "data/"}
+	} else {
+		backing = blob.NewMemory() // never hit: files stay pinned
+	}
+	if cacheBytes <= 0 {
+		cacheBytes = 1 << 30
+	}
+	return &PartitionFiles{
+		prefix: prefix,
+		cache:  blob.NewFileCache(backing, cacheBytes),
+		store:  store,
+		pendCh: make(chan struct{}, 1),
+	}
+}
+
+// prefixedStore namespaces a shared blob store per partition.
+type prefixedStore struct {
+	store  blob.Store
+	prefix string
+}
+
+func (s prefixedStore) Put(key string, data []byte) error { return s.store.Put(s.prefix+key, data) }
+func (s prefixedStore) Get(key string) ([]byte, error)    { return s.store.Get(s.prefix + key) }
+func (s prefixedStore) Delete(key string) error           { return s.store.Delete(s.prefix + key) }
+func (s prefixedStore) List(prefix string) ([]string, error) {
+	keys, err := s.store.List(s.prefix + prefix)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, len(keys))
+	for i, k := range keys {
+		out[i] = strings.TrimPrefix(k, s.prefix)
+	}
+	return out, nil
+}
+
+// SaveFile implements core.FileStore: the file is pinned in the local cache
+// and queued for asynchronous upload.
+func (f *PartitionFiles) SaveFile(name string, data []byte) error {
+	f.cache.AddLocal(name, append([]byte(nil), data...))
+	if f.store != nil {
+		f.mu.Lock()
+		f.pending = append(f.pending, name)
+		f.mu.Unlock()
+		select {
+		case f.pendCh <- struct{}{}:
+		default:
+		}
+	}
+	return nil
+}
+
+// LoadFile implements core.FileStore: local cache first, blob store on
+// miss.
+func (f *PartitionFiles) LoadFile(name string) ([]byte, error) {
+	return f.cache.Get(name)
+}
+
+// RemoveFile implements core.FileStore: drops the local copy only — blob
+// history is retained for PITR (§3.2: "deleted data can be retained").
+func (f *PartitionFiles) RemoveFile(name string) error {
+	f.cache.Remove(name)
+	return nil
+}
+
+// Cache exposes the underlying file cache for stats.
+func (f *PartitionFiles) Cache() *blob.FileCache { return f.cache }
+
+// drainPending uploads queued files; returns the number uploaded.
+func (f *PartitionFiles) drainPending() (int, error) {
+	for n := 0; ; n++ {
+		f.mu.Lock()
+		if len(f.pending) == 0 {
+			f.mu.Unlock()
+			return n, nil
+		}
+		name := f.pending[0]
+		f.pending = f.pending[1:]
+		f.mu.Unlock()
+		data, err := f.cache.Get(name)
+		if err != nil {
+			return n, err
+		}
+		if err := f.store.Put(f.prefix+"data/"+name, data); err != nil {
+			// Requeue and surface: the stager retries (blob outages must
+			// not affect the steady-state workload, §3.1).
+			f.mu.Lock()
+			f.pending = append([]string{name}, f.pending...)
+			f.mu.Unlock()
+			return n, err
+		}
+		f.cache.MarkUploaded(name)
+	}
+}
+
+// Stager is the per-partition background process of §3.1: it uploads data
+// files as soon as they are committed, ships log chunks below the durable
+// watermark, and takes periodic snapshots to bound recovery.
+type Stager struct {
+	part  *Partition
+	files *PartitionFiles
+	store blob.Store
+
+	chunkRecords    int
+	snapshotEvery   int
+	lastSnapshotLSN uint64
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+
+	mu            sync.Mutex
+	uploadedFiles int
+	chunksPut     int
+	snapshotsPut  int
+	lastErr       error
+}
+
+// NewStager wires a stager for a master partition.
+func NewStager(p *Partition, files *PartitionFiles, store blob.Store, chunkRecords, snapshotEvery int) *Stager {
+	if chunkRecords <= 0 {
+		chunkRecords = 256
+	}
+	if snapshotEvery <= 0 {
+		snapshotEvery = 4096
+	}
+	return &Stager{
+		part: p, files: files, store: store,
+		chunkRecords: chunkRecords, snapshotEvery: snapshotEvery,
+		stop: make(chan struct{}),
+	}
+}
+
+// Start launches the staging loop.
+func (s *Stager) Start() {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		ticker := time.NewTicker(500 * time.Microsecond)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-s.stop:
+				s.Step() // final drain
+				return
+			case <-ticker.C:
+				s.Step()
+			case <-s.files.pendCh:
+				s.Step()
+			}
+		}
+	}()
+}
+
+// Step performs one staging round synchronously (exported for tests and
+// deterministic harness runs).
+func (s *Stager) Step() {
+	if s.store == nil {
+		return
+	}
+	if n, err := s.files.drainPending(); err != nil {
+		s.note(err)
+	} else if n > 0 {
+		s.mu.Lock()
+		s.uploadedFiles += n
+		s.mu.Unlock()
+	}
+	// Ship log chunks below the durable watermark ("the tail of the log
+	// newer than this position is still receiving active writes, thus
+	// these newer log pages are never uploaded", §3.1).
+	for {
+		uploaded := s.part.Uploaded()
+		durable := s.part.Log().Durable()
+		if durable <= uploaded {
+			break
+		}
+		end := uploaded + uint64(s.chunkRecords)
+		if end > durable {
+			end = durable
+		}
+		recs, err := s.part.Log().Records(uploaded, end)
+		if err != nil {
+			s.note(err)
+			return
+		}
+		key := fmt.Sprintf("log/%016d", uploaded)
+		if err := s.store.Put(s.files.prefix+key, wal.EncodeRecords(recs)); err != nil {
+			s.note(err)
+			return
+		}
+		s.part.markUploaded(end)
+		s.mu.Lock()
+		s.chunksPut++
+		s.mu.Unlock()
+	}
+	// Periodic snapshot of rowstore state (§3.1: snapshots go straight to
+	// blob storage).
+	if s.part.Uploaded()-s.lastSnapshotLSN >= uint64(s.snapshotEvery) {
+		if err := s.Snapshot(); err != nil {
+			s.note(err)
+		}
+	}
+}
+
+// Snapshot serializes every table at the current snapshot timestamp and
+// uploads the bundle keyed by the log position it covers and the wall
+// clock (PITR selects snapshots by wall time, §3.2).
+func (s *Stager) Snapshot() error {
+	if s.store == nil {
+		return nil
+	}
+	lsn := s.part.Uploaded()
+	ts := s.part.Oracle().ReadTS()
+	bundle := encodeSnapshotBundle(s.part, ts)
+	key := fmt.Sprintf("snap/%016d-%020d", lsn, time.Now().UnixNano())
+	if err := s.store.Put(s.files.prefix+key, bundle); err != nil {
+		return err
+	}
+	s.lastSnapshotLSN = lsn
+	s.mu.Lock()
+	s.snapshotsPut++
+	s.mu.Unlock()
+	// The local log below the snapshotted-and-uploaded position is no
+	// longer needed for recovery.
+	s.part.Log().TruncateBefore(lsn)
+	return nil
+}
+
+func (s *Stager) note(err error) {
+	s.mu.Lock()
+	s.lastErr = err
+	s.mu.Unlock()
+}
+
+// Stats reports staging counters (files uploaded, chunks, snapshots, last
+// error).
+func (s *Stager) Stats() (files, chunks, snapshots int, lastErr error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.uploadedFiles, s.chunksPut, s.snapshotsPut, s.lastErr
+}
+
+// Close stops the stager after a final drain.
+func (s *Stager) Close() {
+	select {
+	case <-s.stop:
+	default:
+		close(s.stop)
+	}
+	s.wg.Wait()
+}
+
+// encodeSnapshotBundle serializes all tables of a partition at ts.
+func encodeSnapshotBundle(p *Partition, ts uint64) []byte {
+	tables := p.Tables()
+	names := make([]string, 0, len(tables))
+	for n := range tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var buf []byte
+	buf = binary.AppendUvarint(buf, ts)
+	buf = binary.AppendUvarint(buf, uint64(len(names)))
+	for _, n := range names {
+		state := tables[n].SerializeState(ts)
+		buf = binary.AppendUvarint(buf, uint64(len(n)))
+		buf = append(buf, n...)
+		buf = binary.AppendUvarint(buf, uint64(len(state)))
+		buf = append(buf, state...)
+	}
+	return buf
+}
+
+// decodeSnapshotBundle restores all tables of a partition from a bundle.
+func decodeSnapshotBundle(p *Partition, data []byte) (ts uint64, err error) {
+	ts, k := binary.Uvarint(data)
+	if k <= 0 {
+		return 0, fmt.Errorf("cluster: bad snapshot ts")
+	}
+	pos := k
+	n, k := binary.Uvarint(data[pos:])
+	if k <= 0 {
+		return 0, fmt.Errorf("cluster: bad snapshot table count")
+	}
+	pos += k
+	for i := uint64(0); i < n; i++ {
+		nl, k := binary.Uvarint(data[pos:])
+		if k <= 0 || pos+k+int(nl) > len(data) {
+			return 0, fmt.Errorf("cluster: bad snapshot table name")
+		}
+		name := string(data[pos+k : pos+k+int(nl)])
+		pos += k + int(nl)
+		sl, k := binary.Uvarint(data[pos:])
+		if k <= 0 || pos+k+int(sl) > len(data) {
+			return 0, fmt.Errorf("cluster: bad snapshot state")
+		}
+		state := data[pos+k : pos+k+int(sl)]
+		pos += k + int(sl)
+		tbl, err := p.Table(name)
+		if err != nil {
+			return 0, err
+		}
+		if err := tbl.RestoreState(state, ts); err != nil {
+			return 0, err
+		}
+	}
+	return ts, nil
+}

@@ -1,0 +1,298 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"s2db/internal/core"
+	"s2db/internal/types"
+	"s2db/internal/wal"
+)
+
+// Workspace is a set of read-only replica partitions provisioned on their
+// own "hosts" (§3.2): they replicate recent data asynchronously from the
+// primary workspace without acking commits, and pull older data files from
+// blob storage directly, so heavy analytics run on isolated compute.
+type Workspace struct {
+	Name  string
+	parts []*Partition
+	links []*Link
+}
+
+// CreateWorkspace provisions a read-only workspace. With a blob store
+// configured, each replica bootstraps from the latest snapshot and log
+// chunks in blob storage and only streams the log tail from the master
+// ("new replica databases get the snapshots and logs they need from blob
+// storage and replicate the tail of the log ... from the master", §3.1);
+// without one it replays the master's full log.
+func (c *Cluster) CreateWorkspace(name string) (*Workspace, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.workspace[name]; dup {
+		return nil, fmt.Errorf("cluster: workspace %s already exists", name)
+	}
+	ws := &Workspace{Name: name}
+	for pi, master := range c.masters {
+		rep := c.newReplicaPartition(pi)
+		// DDL: materialize the catalog on the new partition.
+		for tname, schema := range c.catalog {
+			if err := rep.CreateTable(tname, schema); err != nil {
+				return nil, err
+			}
+		}
+		from := uint64(0)
+		if c.cfg.Blob != nil {
+			// Make sure blob storage is caught up enough that the master's
+			// retained log covers the rest.
+			c.stagers[pi].Step()
+			lsn, err := c.bootstrapFromBlob(rep, pi)
+			if err != nil {
+				return nil, fmt.Errorf("workspace %s: partition %d: %w", name, pi, err)
+			}
+			from = lsn
+		}
+		link := StartLinkFrom(master, rep, false, c.cfg.ReplicationLatency, c.replicaID(), from)
+		if err := link.Err(); err != nil {
+			return nil, fmt.Errorf("workspace %s: partition %d: %w", name, pi, err)
+		}
+		ws.parts = append(ws.parts, rep)
+		ws.links = append(ws.links, link)
+	}
+	c.workspace[name] = ws
+	return ws, nil
+}
+
+// bootstrapFromBlob restores a partition replica from blob snapshots and
+// log chunks, returning the LSN to stream the tail from.
+func (c *Cluster) bootstrapFromBlob(rep *Partition, pi int) (uint64, error) {
+	prefix := c.blobPrefix(pi)
+	store := c.cfg.Blob
+	// Latest snapshot, if any.
+	snaps, err := store.List(prefix + "snap/")
+	if err != nil {
+		return 0, err
+	}
+	from := uint64(0)
+	if len(snaps) > 0 {
+		key := snaps[len(snaps)-1]
+		var lsn uint64
+		var wall int64
+		if _, err := fmt.Sscanf(key[len(prefix+"snap/"):], "%d-%d", &lsn, &wall); err != nil {
+			return 0, fmt.Errorf("bad snapshot key %s: %w", key, err)
+		}
+		data, err := store.Get(key)
+		if err != nil {
+			return 0, err
+		}
+		if _, err := decodeSnapshotBundle(rep, data); err != nil {
+			return 0, err
+		}
+		rep.Log().TruncateBefore(lsn)
+		rep.markApplied(lsn) // the snapshot covers everything below lsn
+		from = lsn
+	}
+	// Replay log chunks from the snapshot position.
+	chunks, err := store.List(prefix + "log/")
+	if err != nil {
+		return 0, err
+	}
+	for _, key := range chunks {
+		recs, err := decodeChunk(store, key)
+		if err != nil {
+			return 0, err
+		}
+		for _, rec := range recs {
+			if rec.LSN < from {
+				continue
+			}
+			if rec.LSN > from {
+				return 0, fmt.Errorf("gap in blob log at LSN %d (want %d)", rec.LSN, from)
+			}
+			if err := rep.ApplyRecord(rec); err != nil {
+				return 0, err
+			}
+			from = rec.LSN + 1
+		}
+	}
+	return from, nil
+}
+
+func decodeChunk(store interface {
+	Get(string) ([]byte, error)
+}, key string) ([]wal.Record, error) {
+	data, err := store.Get(key)
+	if err != nil {
+		return nil, err
+	}
+	return wal.DecodeRecords(data)
+}
+
+// Views returns per-partition snapshots of a table on the workspace's
+// isolated compute.
+func (w *Workspace) Views(table string) ([]*core.View, error) {
+	views := make([]*core.View, 0, len(w.parts))
+	for _, p := range w.parts {
+		tbl, err := p.Table(table)
+		if err != nil {
+			return nil, err
+		}
+		views = append(views, tbl.Snapshot())
+	}
+	return views, nil
+}
+
+// WaitCaughtUp blocks until every workspace partition has applied the
+// master's current head.
+func (c *Cluster) WaitCaughtUp(ws *Workspace, timeout time.Duration) error {
+	for pi, p := range ws.parts {
+		head := c.Master(pi).Log().Head()
+		if err := p.WaitApplied(head, timeout); err != nil {
+			if lerr := ws.links[pi].Err(); lerr != nil {
+				return fmt.Errorf("%w (link error: %v)", err, lerr)
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// Lag returns the maximum link lag (records pending) across the workspace.
+func (w *Workspace) Lag() int {
+	lag := 0
+	for _, l := range w.links {
+		if n := l.Lag(); n > lag {
+			lag = n
+		}
+	}
+	return lag
+}
+
+// DetachWorkspace stops and removes a workspace ("can be attached and
+// detached to the workspace on demand", §1).
+func (c *Cluster) DetachWorkspace(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ws, ok := c.workspace[name]
+	if !ok {
+		return fmt.Errorf("cluster: no workspace %s", name)
+	}
+	ws.close()
+	delete(c.workspace, name)
+	return nil
+}
+
+func (w *Workspace) close() {
+	for _, l := range w.links {
+		l.Stop()
+	}
+	for _, p := range w.parts {
+		p.Close()
+	}
+}
+
+// PointInTimeRestore rebuilds a database's state as of the target wall
+// clock time purely from blob storage (§3.2): for each partition it finds
+// the newest snapshot at or before the target and replays blob log chunks
+// up to the last record appended before it — the per-partition
+// transactionally consistent point LP that "maps as closely as possible to
+// the given PITR target wall clock time". The restored database is a fresh
+// cluster with no replicas or staging (a restore target, not a running
+// primary).
+func PointInTimeRestore(cfg Config, target time.Time) (*Cluster, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Blob == nil {
+		return nil, fmt.Errorf("cluster: PITR requires a blob store")
+	}
+	restored := &Cluster{
+		cfg:       cfg,
+		catalog:   make(map[string]*types.Schema),
+		workspace: make(map[string]*Workspace),
+	}
+	for pi := 0; pi < cfg.Partitions; pi++ {
+		files := NewPartitionFiles(fmt.Sprintf("%s/%d/", cfg.Name, pi), cfg.Blob, cfg.CacheBytes)
+		tcfg := cfg.Table
+		tcfg.Background = false
+		p := newPartition(cfg.Name, pi, RoleMaster, tcfg, files, CommitLocal, 0)
+		p.setMinSyncers(0)
+		restored.masters = append(restored.masters, p)
+		restored.replicas = append(restored.replicas, nil)
+		restored.links = append(restored.links, nil)
+		restored.stagers = append(restored.stagers, NewStager(p, files, nil, 0, 0))
+	}
+	return restored, nil
+}
+
+// RestoreTables performs the PITR replay for the given catalog. The caller
+// supplies schemas because blob storage holds data, not DDL (the paper's
+// PITR restores a database whose definition the control plane knows).
+func (c *Cluster) RestoreTables(catalog map[string]*types.Schema, target time.Time) error {
+	targetWall := target.UnixNano()
+	for name, schema := range catalog {
+		c.mu.Lock()
+		c.catalog[name] = schema
+		c.mu.Unlock()
+		for _, p := range c.masters {
+			if err := p.CreateTable(name, schema); err != nil {
+				return err
+			}
+		}
+	}
+	for pi, p := range c.masters {
+		prefix := c.blobPrefix(pi)
+		store := c.cfg.Blob
+		snaps, err := store.List(prefix + "snap/")
+		if err != nil {
+			return err
+		}
+		from := uint64(0)
+		// Pick the newest snapshot taken at or before the target wall time.
+		for i := len(snaps) - 1; i >= 0; i-- {
+			var lsn uint64
+			var wall int64
+			if _, err := fmt.Sscanf(snaps[i][len(prefix+"snap/"):], "%d-%d", &lsn, &wall); err != nil {
+				return err
+			}
+			if wall <= targetWall {
+				data, err := store.Get(snaps[i])
+				if err != nil {
+					return err
+				}
+				if _, err := decodeSnapshotBundle(p, data); err != nil {
+					return err
+				}
+				p.Log().TruncateBefore(lsn)
+				from = lsn
+				break
+			}
+		}
+		chunks, err := store.List(prefix + "log/")
+		if err != nil {
+			return err
+		}
+		for _, key := range chunks {
+			recs, err := decodeChunk(store, key)
+			if err != nil {
+				return err
+			}
+			for _, rec := range recs {
+				if rec.LSN < from {
+					continue
+				}
+				if rec.Wall > targetWall {
+					// The transactionally consistent point LP for this
+					// partition (§3.2) has been reached.
+					break
+				}
+				if rec.LSN > from {
+					return fmt.Errorf("partition %d: gap in blob log at %d", pi, rec.LSN)
+				}
+				if err := p.ApplyRecord(rec); err != nil {
+					return err
+				}
+				from = rec.LSN + 1
+			}
+		}
+		p.NoteAppend()
+	}
+	return nil
+}

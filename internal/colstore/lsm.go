@@ -1,0 +1,118 @@
+package colstore
+
+import (
+	"sort"
+
+	"s2db/internal/bitmap"
+	"s2db/internal/types"
+)
+
+// Meta is the mutable per-segment metadata the paper stores in a durable
+// rowstore table (§2.1.2): the deleted bit vector plus bookkeeping. The
+// segment payload itself is immutable; installing a new Meta version is how
+// deletes and merges become visible.
+type Meta struct {
+	Seg *Segment
+	// Deleted marks rows filtered out of every read. A row's bit is set
+	// either by a move transaction (§4.2) or when the row was replaced.
+	Deleted *bitmap.Bitmap
+	// Run is the sorted-run generation the segment belongs to; higher runs
+	// are newer. Segments within a run are ordered and non-overlapping on
+	// the sort key.
+	Run int
+	// File is the data file name ("named after the log page at which it
+	// was created", §3) used for blob staging.
+	File string
+}
+
+// NewMeta wraps a fresh segment with an empty deleted vector.
+func NewMeta(seg *Segment, run int, file string) *Meta {
+	return &Meta{Seg: seg, Deleted: bitmap.New(seg.NumRows), Run: run, File: file}
+}
+
+// LiveRows returns the number of non-deleted rows.
+func (m *Meta) LiveRows() int { return m.Seg.NumRows - m.Deleted.Count() }
+
+// CloneWithDeleted returns a copy of the metadata with a new deleted
+// vector, leaving the original untouched for concurrent readers.
+func (m *Meta) CloneWithDeleted(d *bitmap.Bitmap) *Meta {
+	return &Meta{Seg: m.Seg, Deleted: d, Run: m.Run, File: m.File}
+}
+
+// MergePlan selects sorted runs to merge. The policy keeps a logarithmic
+// number of runs (§2.1.2): whenever `fanout` or more runs exist whose total
+// live row count is below the next power-of-fanout boundary, they merge.
+type MergePlan struct {
+	// Runs lists the run generations to merge together.
+	Runs []int
+}
+
+// PickMerge examines run sizes (live rows per run generation) and returns a
+// plan, or nil when the tree is already logarithmic. fanout must be >= 2.
+func PickMerge(runSizes map[int]int, fanout int) *MergePlan {
+	if fanout < 2 {
+		fanout = 2
+	}
+	if len(runSizes) < fanout {
+		return nil
+	}
+	// Bucket runs by size tier: tier t holds runs with size in
+	// [fanout^t, fanout^(t+1)). Merging all runs in the fullest small tier
+	// keeps run count logarithmic in total rows.
+	tiers := map[int][]int{}
+	for run, size := range runSizes {
+		t := 0
+		for s := size; s >= fanout; s /= fanout {
+			t++
+		}
+		tiers[t] = append(tiers[t], run)
+	}
+	var tierKeys []int
+	for t := range tiers {
+		tierKeys = append(tierKeys, t)
+	}
+	sort.Ints(tierKeys)
+	for _, t := range tierKeys {
+		if len(tiers[t]) >= fanout {
+			runs := tiers[t]
+			sort.Ints(runs)
+			return &MergePlan{Runs: runs}
+		}
+	}
+	return nil
+}
+
+// MergeSegments merges the live rows of the given segment metadata into new
+// segments of at most maxRows each, ordered by the schema's sort key when
+// present. Logical table contents are unchanged — the caller installs the
+// result atomically (the merge is reorderable with move transactions,
+// §4.2).
+func MergeSegments(metas []*Meta, schema *types.Schema, maxRows int, nextID func() uint64) []*Segment {
+	if maxRows <= 0 {
+		maxRows = MaxSegmentRows
+	}
+	// Collect live rows from all inputs.
+	var rows []types.Row
+	for _, m := range metas {
+		for i := 0; i < m.Seg.NumRows; i++ {
+			if !m.Deleted.Get(i) {
+				rows = append(rows, m.Seg.RowAt(i))
+			}
+		}
+	}
+	if schema.SortKey >= 0 {
+		k := []int{schema.SortKey}
+		sort.SliceStable(rows, func(i, j int) bool {
+			return types.CompareRows(rows[i], rows[j], k) < 0
+		})
+	}
+	var out []*Segment
+	for start := 0; start < len(rows); start += maxRows {
+		end := start + maxRows
+		if end > len(rows) {
+			end = len(rows)
+		}
+		out = append(out, buildFromRows(nextID(), schema, rows[start:end]))
+	}
+	return out
+}

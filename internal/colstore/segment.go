@@ -1,0 +1,375 @@
+// Package colstore implements the disk-based columnstore (§2.1.2): rows are
+// organized into immutable segments storing each column separately with
+// per-segment encoding choices, min/max zone metadata for segment
+// elimination, and LSM-style sorted runs maintained by a background merger.
+// Deleted rows are *not* stored here — they live in the mutable segment
+// metadata owned by the unified table layer (§4), keeping the data files
+// immutable, which is what makes blob staging possible (§3.1).
+package colstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"s2db/internal/bitmap"
+	"s2db/internal/codec"
+	"s2db/internal/types"
+)
+
+// MaxSegmentRows is the default segment capacity. The paper uses 1M rows
+// per segment; the simulator default is smaller so laptop-scale benchmarks
+// exercise multi-segment paths.
+const MaxSegmentRows = 64 * 1024
+
+// Column is one encoded column of a segment.
+type Column struct {
+	Ints  codec.IntColumn    // Int64 and Float64 (as IEEE bits) columns
+	Strs  codec.StringColumn // String columns
+	Nulls *bitmap.Bitmap     // nil when the column has no nulls
+}
+
+// Segment is an immutable columnar chunk of a table. Once built its
+// contents never change; deletes are recorded in table metadata.
+type Segment struct {
+	ID      uint64
+	NumRows int
+	Cols    []Column
+	// Min and Max hold per-column min/max values over non-null rows, used
+	// for zone-map segment elimination (§2.1.2). HasRange is false for
+	// all-null columns.
+	Min, Max []types.Value
+	HasRange []bool
+	schema   *types.Schema
+}
+
+// Schema returns the table schema the segment was built under.
+func (s *Segment) Schema() *types.Schema { return s.schema }
+
+// Builder accumulates rows and produces an immutable Segment.
+type Builder struct {
+	schema *types.Schema
+	rows   []types.Row
+}
+
+// NewBuilder returns a builder for the given schema.
+func NewBuilder(schema *types.Schema) *Builder {
+	return &Builder{schema: schema}
+}
+
+// Add appends a row. The builder takes ownership of the row.
+func (b *Builder) Add(row types.Row) { b.rows = append(b.rows, row) }
+
+// Len returns the number of buffered rows.
+func (b *Builder) Len() int { return len(b.rows) }
+
+// Build encodes the buffered rows into a segment with the given id. When
+// the schema has a sort key, rows are sorted by it first ("rows are fully
+// sorted by the sort key within each segment", §2.1.2). The builder is
+// drained.
+func (b *Builder) Build(id uint64) *Segment {
+	rows := b.rows
+	b.rows = nil
+	if b.schema.SortKey >= 0 {
+		k := []int{b.schema.SortKey}
+		sort.SliceStable(rows, func(i, j int) bool {
+			return types.CompareRows(rows[i], rows[j], k) < 0
+		})
+	}
+	return buildFromRows(id, b.schema, rows)
+}
+
+// BuildSegment encodes pre-ordered rows into a segment without re-sorting,
+// used by the merger which sorts globally across inputs itself.
+func BuildSegment(id uint64, schema *types.Schema, rows []types.Row) *Segment {
+	return buildFromRows(id, schema, rows)
+}
+
+func buildFromRows(id uint64, schema *types.Schema, rows []types.Row) *Segment {
+	n := len(rows)
+	seg := &Segment{
+		ID:       id,
+		NumRows:  n,
+		Cols:     make([]Column, len(schema.Columns)),
+		Min:      make([]types.Value, len(schema.Columns)),
+		Max:      make([]types.Value, len(schema.Columns)),
+		HasRange: make([]bool, len(schema.Columns)),
+		schema:   schema,
+	}
+	for c, col := range schema.Columns {
+		var nulls *bitmap.Bitmap
+		setNull := func(i int) {
+			if nulls == nil {
+				nulls = bitmap.New(n)
+			}
+			nulls.Set(i)
+		}
+		switch col.Type {
+		case types.Int64, types.Float64:
+			vals := make([]int64, n)
+			for i, r := range rows {
+				v := r[c]
+				if v.IsNull {
+					setNull(i)
+					continue
+				}
+				if col.Type == types.Int64 {
+					vals[i] = v.I
+				} else {
+					vals[i] = int64(math.Float64bits(v.F))
+				}
+				updateRange(seg, c, v)
+			}
+			seg.Cols[c] = Column{Ints: codec.EncodeInts(vals), Nulls: nulls}
+		case types.String:
+			vals := make([]string, n)
+			for i, r := range rows {
+				v := r[c]
+				if v.IsNull {
+					setNull(i)
+					continue
+				}
+				vals[i] = v.S
+				updateRange(seg, c, v)
+			}
+			seg.Cols[c] = Column{Strs: codec.EncodeStrings(vals), Nulls: nulls}
+		}
+	}
+	return seg
+}
+
+func updateRange(seg *Segment, c int, v types.Value) {
+	if !seg.HasRange[c] {
+		seg.Min[c], seg.Max[c] = v, v
+		seg.HasRange[c] = true
+		return
+	}
+	if types.Compare(v, seg.Min[c]) < 0 {
+		seg.Min[c] = v
+	}
+	if types.Compare(v, seg.Max[c]) > 0 {
+		seg.Max[c] = v
+	}
+}
+
+// ValueAt returns the value at (row, col), decoding only that cell
+// (seekable encodings make this cheap, §2.1.2).
+func (s *Segment) ValueAt(row, col int) types.Value {
+	cc := s.Cols[col]
+	t := s.schema.Columns[col].Type
+	if cc.Nulls != nil && cc.Nulls.Get(row) {
+		return types.Null(t)
+	}
+	switch t {
+	case types.Int64:
+		return types.NewInt(cc.Ints.At(row))
+	case types.Float64:
+		return types.NewFloat(math.Float64frombits(uint64(cc.Ints.At(row))))
+	default:
+		return types.NewString(cc.Strs.At(row))
+	}
+}
+
+// RowAt materializes the full row at the given offset.
+func (s *Segment) RowAt(row int) types.Row {
+	out := make(types.Row, len(s.schema.Columns))
+	for c := range s.schema.Columns {
+		out[c] = s.ValueAt(row, c)
+	}
+	return out
+}
+
+// IntValues decodes an Int64/Float64-bits column fully into dst.
+func (s *Segment) IntValues(col int, dst []int64) []int64 {
+	return s.Cols[col].Ints.DecodeAll(dst)
+}
+
+// MayContain reports whether the segment's zone map admits a value
+// satisfying "col op v"; false means the whole segment can be eliminated
+// without touching data files (§5.1).
+func (s *Segment) MayContain(col int, op int, v types.Value) bool {
+	// op follows vector.CmpOp ordering: Eq, Ne, Lt, Le, Gt, Ge.
+	if !s.HasRange[col] {
+		return false // all null: no comparison can hold
+	}
+	lo, hi := s.Min[col], s.Max[col]
+	switch op {
+	case 0: // Eq
+		return types.Compare(v, lo) >= 0 && types.Compare(v, hi) <= 0
+	case 1: // Ne
+		return !(types.Equal(lo, hi) && types.Equal(lo, v))
+	case 2: // Lt
+		return types.Compare(lo, v) < 0
+	case 3: // Le
+		return types.Compare(lo, v) <= 0
+	case 4: // Gt
+		return types.Compare(hi, v) > 0
+	default: // Ge
+		return types.Compare(hi, v) >= 0
+	}
+}
+
+// --- serialization ---------------------------------------------------------
+
+// Encode serializes the segment into a self-contained data file payload.
+func (s *Segment) Encode() []byte {
+	var buf []byte
+	buf = binary.AppendUvarint(buf, s.ID)
+	buf = binary.AppendUvarint(buf, uint64(s.NumRows))
+	buf = binary.AppendUvarint(buf, uint64(len(s.Cols)))
+	for c := range s.Cols {
+		cc := s.Cols[c]
+		buf = append(buf, byte(s.schema.Columns[c].Type))
+		if cc.Nulls != nil {
+			buf = append(buf, 1)
+			buf = cc.Nulls.AppendBinary(buf)
+		} else {
+			buf = append(buf, 0)
+		}
+		if cc.Ints != nil {
+			buf = cc.Ints.AppendBinary(buf)
+		} else {
+			buf = cc.Strs.AppendBinary(buf)
+		}
+		buf = append(buf, boolByte(s.HasRange[c]))
+		if s.HasRange[c] {
+			buf = appendValue(buf, s.Min[c])
+			buf = appendValue(buf, s.Max[c])
+		}
+	}
+	return buf
+}
+
+// Decode deserializes a segment encoded by Encode. The schema must match
+// the one the segment was built with.
+func Decode(buf []byte, schema *types.Schema) (*Segment, error) {
+	p := 0
+	id, k := binary.Uvarint(buf[p:])
+	if k <= 0 {
+		return nil, fmt.Errorf("colstore: bad segment id")
+	}
+	p += k
+	nrows, k := binary.Uvarint(buf[p:])
+	if k <= 0 {
+		return nil, fmt.Errorf("colstore: bad row count")
+	}
+	p += k
+	ncols, k := binary.Uvarint(buf[p:])
+	if k <= 0 {
+		return nil, fmt.Errorf("colstore: bad column count")
+	}
+	p += k
+	if int(ncols) != len(schema.Columns) {
+		return nil, fmt.Errorf("colstore: segment has %d columns, schema has %d", ncols, len(schema.Columns))
+	}
+	seg := &Segment{
+		ID: id, NumRows: int(nrows),
+		Cols:     make([]Column, ncols),
+		Min:      make([]types.Value, ncols),
+		Max:      make([]types.Value, ncols),
+		HasRange: make([]bool, ncols),
+		schema:   schema,
+	}
+	for c := 0; c < int(ncols); c++ {
+		if p >= len(buf) {
+			return nil, fmt.Errorf("colstore: truncated column %d", c)
+		}
+		ct := types.ColType(buf[p])
+		p++
+		if ct != schema.Columns[c].Type {
+			return nil, fmt.Errorf("colstore: column %d type %v, schema says %v", c, ct, schema.Columns[c].Type)
+		}
+		if p >= len(buf) {
+			return nil, fmt.Errorf("colstore: truncated null flag")
+		}
+		hasNulls := buf[p] == 1
+		p++
+		if hasNulls {
+			nulls, n, err := bitmap.Decode(buf[p:])
+			if err != nil {
+				return nil, err
+			}
+			seg.Cols[c].Nulls = nulls
+			p += n
+		}
+		switch ct {
+		case types.Int64, types.Float64:
+			col, n, err := codec.DecodeIntColumn(buf[p:])
+			if err != nil {
+				return nil, err
+			}
+			seg.Cols[c].Ints = col
+			p += n
+		default:
+			col, n, err := codec.DecodeStringColumn(buf[p:])
+			if err != nil {
+				return nil, err
+			}
+			seg.Cols[c].Strs = col
+			p += n
+		}
+		if p >= len(buf) {
+			return nil, fmt.Errorf("colstore: truncated range flag")
+		}
+		hasRange := buf[p] == 1
+		p++
+		seg.HasRange[c] = hasRange
+		if hasRange {
+			v, n, err := decodeValue(buf[p:], ct)
+			if err != nil {
+				return nil, err
+			}
+			seg.Min[c] = v
+			p += n
+			v, n, err = decodeValue(buf[p:], ct)
+			if err != nil {
+				return nil, err
+			}
+			seg.Max[c] = v
+			p += n
+		}
+	}
+	return seg, nil
+}
+
+func boolByte(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func appendValue(buf []byte, v types.Value) []byte {
+	switch v.Type {
+	case types.Int64:
+		return binary.AppendVarint(buf, v.I)
+	case types.Float64:
+		return binary.LittleEndian.AppendUint64(buf, math.Float64bits(v.F))
+	default:
+		buf = binary.AppendUvarint(buf, uint64(len(v.S)))
+		return append(buf, v.S...)
+	}
+}
+
+func decodeValue(buf []byte, t types.ColType) (types.Value, int, error) {
+	switch t {
+	case types.Int64:
+		v, k := binary.Varint(buf)
+		if k <= 0 {
+			return types.Value{}, 0, fmt.Errorf("colstore: bad int value")
+		}
+		return types.NewInt(v), k, nil
+	case types.Float64:
+		if len(buf) < 8 {
+			return types.Value{}, 0, fmt.Errorf("colstore: bad float value")
+		}
+		return types.NewFloat(math.Float64frombits(binary.LittleEndian.Uint64(buf))), 8, nil
+	default:
+		l, k := binary.Uvarint(buf)
+		if k <= 0 || k+int(l) > len(buf) {
+			return types.Value{}, 0, fmt.Errorf("colstore: bad string value")
+		}
+		return types.NewString(string(buf[k : k+int(l)])), k + int(l), nil
+	}
+}

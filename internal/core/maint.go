@@ -1,0 +1,345 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"s2db/internal/bitmap"
+	"s2db/internal/colstore"
+	"s2db/internal/rowstore"
+	"s2db/internal/types"
+	"s2db/internal/wal"
+)
+
+// installSegment adds a segment entry visible from ts. Callers run inside
+// the commit/replay critical section.
+func (t *Table) installSegment(ts uint64, seg *colstore.Segment, run int, file string, deleted *bitmap.Bitmap) {
+	meta := colstore.NewMeta(seg, run, file)
+	if deleted != nil {
+		meta = meta.CloneWithDeleted(deleted.Clone())
+	}
+	e := &segEntry{createTS: ts}
+	e.versions.Store(&metaVersion{ts: ts, meta: meta})
+	t.segMu.Lock()
+	t.segs[seg.ID] = e
+	if seg.ID >= t.nextSeg.Load() {
+		t.nextSeg.Store(seg.ID + 1)
+	}
+	if int64(run) >= t.nextRun.Load() {
+		t.nextRun.Store(int64(run) + 1)
+	}
+	t.segMu.Unlock()
+	t.idx.AddSegment(seg)
+}
+
+// dropSegment retires a segment at ts (after a merge).
+func (t *Table) dropSegment(ts uint64, id uint64) {
+	t.segMu.RLock()
+	e := t.segs[id]
+	t.segMu.RUnlock()
+	if e == nil {
+		return
+	}
+	e.dropTS.Store(ts)
+	t.idx.DropSegment(id)
+}
+
+// applySegDeletes installs new deleted-bits versions at ts for the given
+// (segment, offsets) sets, chasing merge remaps when a target segment was
+// retired between the caller's scan and this commit (§4.2). Callers run
+// inside the commit/replay critical section.
+func (t *Table) applySegDeletes(ts uint64, segDel map[uint64][]int32) {
+	if len(segDel) == 0 {
+		return
+	}
+	// Resolve remapped targets until every offset lands in a live segment.
+	resolved := make(map[uint64][]int32, len(segDel))
+	var resolve func(id uint64, offs []int32)
+	resolve = func(id uint64, offs []int32) {
+		t.segMu.RLock()
+		e := t.segs[id]
+		t.segMu.RUnlock()
+		if e == nil {
+			return
+		}
+		if e.dropTS.Load() == 0 {
+			resolved[id] = append(resolved[id], offs...)
+			return
+		}
+		rm := e.remap.Load()
+		if rm == nil {
+			return // dropped with no survivors: rows already gone
+		}
+		next := map[uint64][]int32{}
+		for _, o := range offs {
+			if tgt, ok := (*rm)[o]; ok {
+				next[tgt.seg] = append(next[tgt.seg], tgt.off)
+			}
+		}
+		for nid, noffs := range next {
+			resolve(nid, noffs)
+		}
+	}
+	for id, offs := range segDel {
+		resolve(id, offs)
+	}
+	for id, offs := range resolved {
+		t.segMu.RLock()
+		e := t.segs[id]
+		t.segMu.RUnlock()
+		if e == nil {
+			continue
+		}
+		cur := e.latestMeta()
+		nd := cur.Deleted.Clone()
+		for _, o := range offs {
+			nd.Set(int(o))
+		}
+		e.versions.Store(&metaVersion{ts: ts, meta: cur.CloneWithDeleted(nd), prev: e.versions.Load()})
+	}
+}
+
+// Flush converts up to MaxSegmentRows buffered rows into a columnstore
+// segment in a single transaction (§2.1.2): the rows are tombstoned in the
+// buffer and the segment installed at the same commit timestamp, so logical
+// table contents never change. Rows locked by active writers are skipped.
+// It returns the number of rows flushed.
+func (t *Table) Flush() (int, error) {
+	t.structMu.Lock()
+	defer t.structMu.Unlock()
+	readTS := t.committer.Oracle().ReadTS()
+	var keys [][]byte
+	t.buffer.Scan(nil, nil, readTS, func(k []byte, _ types.Row) bool {
+		keys = append(keys, append([]byte(nil), k...))
+		return len(keys) < t.cfg.MaxSegmentRows
+	})
+	if len(keys) == 0 {
+		return 0, nil
+	}
+	tx := t.buffer.Begin(readTS)
+	builder := colstore.NewBuilder(t.schema)
+	var delKeys [][]byte
+	for _, k := range keys {
+		row, existed, err := tx.TryDeleteLatest(k)
+		if err == rowstore.ErrRowLocked || !existed && err == nil {
+			continue // busy or concurrently deleted; next flush gets it
+		}
+		if err != nil {
+			tx.Abort()
+			return 0, fmt.Errorf("flush %s: %w", t.name, err)
+		}
+		builder.Add(row.Clone())
+		delKeys = append(delKeys, k)
+	}
+	if builder.Len() == 0 {
+		tx.Abort()
+		return 0, nil
+	}
+	segID := t.nextSeg.Add(1) - 1
+	seg := builder.Build(segID)
+	run := int(t.nextRun.Add(1) - 1)
+	file := fmt.Sprintf("%s/seg-%08d-lp%08d", t.name, segID, t.log.Head())
+	segBytes := seg.Encode()
+	if err := t.files.SaveFile(file, segBytes); err != nil {
+		tx.Abort()
+		return 0, fmt.Errorf("flush %s: save file: %w", t.name, err)
+	}
+	n := seg.NumRows
+	t.committer.Commit(func(ts uint64) {
+		t.installSegment(ts, seg, run, file, nil)
+		tx.Commit(ts)
+		t.appendLog(wal.KindFlush, ts, &mutation{
+			DeleteKeys: delKeys,
+			NewSegs:    []segInstall{{File: file, Run: run, SegBytes: segBytes}},
+		})
+	})
+	t.Stats.Flushes.Add(1)
+	t.maybeCompact()
+	return n, nil
+}
+
+// Merge runs one step of the background merger (§2.1.2): when the LSM has
+// too many sorted runs it merges them into new segments, preserving logical
+// contents. Deletes that commit between the merge's scan and its install
+// are re-applied via the deleted-bits diff, so merges never block update or
+// delete transactions (§4.2). It reports whether a merge happened.
+func (t *Table) Merge() bool {
+	t.structMu.Lock()
+	defer t.structMu.Unlock()
+
+	readTS := t.committer.Oracle().ReadTS()
+	// Gather live segments per run at the scan snapshot.
+	t.segMu.RLock()
+	runSizes := map[int]int{}
+	byRun := map[int][]uint64{}
+	for id, e := range t.segs {
+		m := e.metaAt(readTS)
+		if m == nil || e.dropTS.Load() != 0 {
+			continue
+		}
+		runSizes[m.Run] += m.LiveRows()
+		byRun[m.Run] = append(byRun[m.Run], id)
+	}
+	t.segMu.RUnlock()
+	plan := colstore.PickMerge(runSizes, t.cfg.MergeFanout)
+	if plan == nil {
+		return false
+	}
+
+	// Scan phase: collect live rows with their origins, remembering the
+	// deleted bitmaps we read so the install phase can diff against them.
+	type origin struct {
+		seg uint64
+		off int32
+	}
+	var rows []types.Row
+	var origins []origin
+	scanned := map[uint64]*bitmap.Bitmap{}
+	var inputIDs []uint64
+	for _, run := range plan.Runs {
+		for _, id := range byRun[run] {
+			t.segMu.RLock()
+			e := t.segs[id]
+			t.segMu.RUnlock()
+			m := e.latestMeta()
+			scanned[id] = m.Deleted
+			inputIDs = append(inputIDs, id)
+			for i := 0; i < m.Seg.NumRows; i++ {
+				if !m.Deleted.Get(i) {
+					rows = append(rows, m.Seg.RowAt(i))
+					origins = append(origins, origin{seg: id, off: int32(i)})
+				}
+			}
+		}
+	}
+	// Sort rows (with origins) by the sort key.
+	if t.schema.SortKey >= 0 {
+		k := []int{t.schema.SortKey}
+		idxs := make([]int, len(rows))
+		for i := range idxs {
+			idxs[i] = i
+		}
+		sortByKey(idxs, rows, k)
+		nr := make([]types.Row, len(rows))
+		no := make([]origin, len(origins))
+		for i, j := range idxs {
+			nr[i], no[i] = rows[j], origins[j]
+		}
+		rows, origins = nr, no
+	}
+
+	// Build output segments and the remap from old locations to new.
+	maxRows := t.cfg.MaxSegmentRows
+	type outSeg struct {
+		seg   *colstore.Segment
+		run   int
+		file  string
+		bytes []byte
+	}
+	var outs []outSeg
+	remaps := map[uint64]map[int32]remapTarget{}
+	for _, id := range inputIDs {
+		remaps[id] = map[int32]remapTarget{}
+	}
+	newRun := int(t.nextRun.Add(1) - 1)
+	for start := 0; start < len(rows); start += maxRows {
+		end := start + maxRows
+		if end > len(rows) {
+			end = len(rows)
+		}
+		segID := t.nextSeg.Add(1) - 1
+		seg := colstore.BuildSegment(segID, t.schema, rows[start:end])
+		file := fmt.Sprintf("%s/seg-%08d-lp%08d", t.name, segID, t.log.Head())
+		bytes := seg.Encode()
+		if err := t.files.SaveFile(file, bytes); err != nil {
+			return false // leave inputs untouched; retry later
+		}
+		for i := start; i < end; i++ {
+			o := origins[i]
+			remaps[o.seg][o.off] = remapTarget{seg: segID, off: int32(i - start)}
+		}
+		outs = append(outs, outSeg{seg: seg, run: newRun, file: file, bytes: bytes})
+	}
+
+	t.committer.Commit(func(ts uint64) {
+		// Diff: deletes that landed after our scan must carry over to the
+		// new segments (§4.2's reordering rule, applied from the merge's
+		// side).
+		carried := map[uint64]*bitmap.Bitmap{} // new seg id -> deleted bits
+		for _, id := range inputIDs {
+			t.segMu.RLock()
+			e := t.segs[id]
+			t.segMu.RUnlock()
+			nowDel := e.latestMeta().Deleted
+			was := scanned[id]
+			nowDel.Range(func(i int) bool {
+				if !was.Get(i) {
+					if tgt, ok := remaps[id][int32(i)]; ok {
+						bm := carried[tgt.seg]
+						if bm == nil {
+							// Sized lazily per target segment below.
+							for _, o := range outs {
+								if o.seg.ID == tgt.seg {
+									bm = bitmap.New(o.seg.NumRows)
+								}
+							}
+							carried[tgt.seg] = bm
+						}
+						bm.Set(int(tgt.off))
+					}
+				}
+				return true
+			})
+		}
+		var installs []segInstall
+		for _, o := range outs {
+			t.installSegment(ts, o.seg, o.run, o.file, carried[o.seg.ID])
+			del := carried[o.seg.ID]
+			installs = append(installs, segInstall{File: o.file, Run: o.run, Deleted: del, SegBytes: o.bytes})
+		}
+		for _, id := range inputIDs {
+			t.segMu.RLock()
+			e := t.segs[id]
+			t.segMu.RUnlock()
+			rm := remaps[id]
+			e.remap.Store(&rm)
+			t.dropSegment(ts, id)
+		}
+		t.appendLog(wal.KindMerge, ts, &mutation{NewSegs: installs, DropSegs: inputIDs})
+	})
+	t.Stats.Merges.Add(1)
+	return true
+}
+
+// sortByKey stable-sorts idxs by rows[idx] under the key ordinals.
+func sortByKey(idxs []int, rows []types.Row, key []int) {
+	sort.SliceStable(idxs, func(a, b int) bool {
+		return types.CompareRows(rows[idxs[a]], rows[idxs[b]], key) < 0
+	})
+}
+
+// maybeCompact physically removes tombstoned buffer nodes left behind by
+// flushes and trims MVCC version chains, once they are older than the
+// compaction grace period. Callers hold structMu.
+func (t *Table) maybeCompact() {
+	now := time.Now()
+	t.tsHistory = append(t.tsHistory, tsStamp{ts: t.committer.Oracle().ReadTS(), at: now})
+	// Find the newest timestamp published at least a grace period ago.
+	var keepTS uint64
+	cut := 0
+	for i, s := range t.tsHistory {
+		if now.Sub(s.at) >= t.cfg.CompactionGrace {
+			keepTS = s.ts
+			cut = i
+		} else {
+			break
+		}
+	}
+	t.tsHistory = t.tsHistory[cut:]
+	if keepTS == 0 || now.Sub(t.lastCompact) < t.cfg.CompactionGrace/4 {
+		return
+	}
+	t.lastCompact = now
+	t.buffer.Compact(keepTS)
+}

@@ -1,0 +1,495 @@
+package core
+
+import (
+	"fmt"
+
+	"s2db/internal/types"
+	"s2db/internal/vector"
+	"s2db/internal/wal"
+)
+
+// segLoc addresses one row inside a segment, with the buffer key it will
+// live under after a move.
+type segLoc struct {
+	seg uint64
+	off int32
+	key []byte
+}
+
+// moveToBuffer runs a move transaction (§4.2): it copies the given segment
+// rows into the in-memory rowstore (which locks them — "the primary key of
+// the in-memory rowstore acts as the lock manager") and marks their segment
+// copies deleted, committing immediately as an autonomous transaction.
+// Rows already moved by a concurrent transaction are skipped: their live
+// copy is in the buffer and callers re-probe it.
+func (t *Table) moveToBuffer(locs []segLoc) error {
+	if len(locs) == 0 {
+		return nil
+	}
+	readTS := t.committer.Oracle().ReadTS()
+	tx := t.buffer.Begin(readTS)
+	m := &mutation{SegDeletes: map[uint64][]int32{}}
+	inserted := 0
+	for _, loc := range locs {
+		t.segMu.RLock()
+		e := t.segs[loc.seg]
+		t.segMu.RUnlock()
+		if e == nil {
+			continue
+		}
+		meta := e.latestMeta()
+		if meta.Deleted.Get(int(loc.off)) {
+			continue // concurrently moved or deleted; live copy is elsewhere
+		}
+		row := meta.Seg.RowAt(int(loc.off))
+		key := loc.key
+		if key == nil {
+			key = t.bufferKey(row)
+		}
+		// Inserting the copy takes the buffer row lock; if another mover
+		// holds it we wait (bounded by the lock timeout).
+		if _, err := tx.Insert(key, row); err != nil {
+			tx.Abort()
+			return fmt.Errorf("move: %w", err)
+		}
+		m.Inserts = append(m.Inserts, kv{Key: key, Row: row})
+		m.SegDeletes[loc.seg] = append(m.SegDeletes[loc.seg], loc.off)
+		inserted++
+	}
+	if inserted == 0 {
+		tx.Abort()
+		return nil
+	}
+	t.committer.Commit(func(ts uint64) {
+		// Re-check under the commit lock: a move that lost the race must
+		// not double-insert. applySegDeletes chases merge remaps for rows
+		// whose segments were merged since our scan (§4.2).
+		t.applySegDeletes(ts, m.SegDeletes)
+		tx.Commit(ts)
+		t.appendLog(wal.KindMove, ts, m)
+	})
+	t.Stats.Moves.Add(int64(inserted))
+	return nil
+}
+
+// Where describes the target rows of an update or delete: an optional
+// indexed equality (fast path through the secondary index) plus an optional
+// residual predicate.
+type Where struct {
+	// Col/Val is an equality on an indexed column; Col == -1 disables it.
+	Col int
+	Val types.Value
+	// Pred is evaluated on candidate rows; nil accepts all.
+	Pred func(types.Row) bool
+}
+
+// All matches every row.
+func All() Where { return Where{Col: -1} }
+
+// Eq matches rows where the (indexed) column equals v.
+func Eq(col int, v types.Value) Where { return Where{Col: col, Val: v} }
+
+func (w Where) matches(r types.Row) bool {
+	if w.Col >= 0 && !types.Equal(r[w.Col], w.Val) {
+		return false
+	}
+	return w.Pred == nil || w.Pred(r)
+}
+
+// findTargets locates the rows matched by w at the view's snapshot,
+// returning buffer keys and segment locations.
+func (t *Table) findTargets(view *View, w Where) (bufKeys [][]byte, segLocs []segLoc) {
+	t.buffer.Scan(nil, nil, view.TS, func(k []byte, r types.Row) bool {
+		if w.matches(r) {
+			bufKeys = append(bufKeys, append([]byte(nil), k...))
+		}
+		return true
+	})
+	if w.Col >= 0 && t.idx.HasColumn(w.Col) {
+		matches, probes := t.idx.LookupColumn(w.Col, w.Val)
+		t.Stats.IndexProbes.Add(int64(probes))
+		for _, m := range matches {
+			for _, meta := range view.Segs {
+				if meta.Seg.ID != m.SegID {
+					continue
+				}
+				for _, off := range m.Rows {
+					if meta.Deleted.Get(int(off)) {
+						continue
+					}
+					if w.Pred == nil || w.Pred(meta.Seg.RowAt(int(off))) {
+						segLocs = append(segLocs, segLoc{seg: m.SegID, off: off})
+					}
+				}
+			}
+		}
+		return bufKeys, segLocs
+	}
+	// Full segment scan with zone-map elimination for the equality case.
+	for _, meta := range view.Segs {
+		if w.Col >= 0 && !meta.Seg.MayContain(w.Col, int(vector.Eq), w.Val) {
+			t.Stats.SegmentsEliminated.Add(1)
+			continue
+		}
+		for i := 0; i < meta.Seg.NumRows; i++ {
+			if meta.Deleted.Get(i) {
+				continue
+			}
+			if w.matches(meta.Seg.RowAt(i)) {
+				segLocs = append(segLocs, segLoc{seg: meta.Seg.ID, off: int32(i)})
+			}
+		}
+	}
+	return bufKeys, segLocs
+}
+
+// UpdateWhere rewrites matching rows via set, using move transactions for
+// rows living in segments so the user transaction only locks in-memory rows
+// (§4.2). Changing unique-key columns is not supported. It returns the
+// number of rows updated.
+func (t *Table) UpdateWhere(w Where, set func(types.Row) types.Row) (int, error) {
+	// Excluding flush/merge between target discovery and row locking keeps
+	// the operation exactly-once: otherwise a concurrent flush can tombstone
+	// a matched buffer row (moving it into a segment) in the window between
+	// the snapshot and LockAndGet, silently losing the update.
+	t.structMu.Lock()
+	defer t.structMu.Unlock()
+	view := t.Snapshot()
+	bufKeys, segLocs := t.findTargets(view, w)
+	if len(segLocs) > 0 {
+		if err := t.moveToBuffer(segLocs); err != nil {
+			return 0, err
+		}
+		for _, loc := range segLocs {
+			if loc.key != nil {
+				bufKeys = append(bufKeys, loc.key)
+			}
+		}
+		// Moved rows without precomputed keys are found by re-probing the
+		// buffer below when the table has a unique key; otherwise they got
+		// hidden row ids — rescan the buffer for matches.
+		if len(t.schema.UniqueKey) > 0 {
+			for _, loc := range segLocs {
+				if loc.key == nil {
+					t.segMu.RLock()
+					e := t.segs[loc.seg]
+					t.segMu.RUnlock()
+					if e != nil {
+						row := e.latestMeta().Seg.RowAt(int(loc.off))
+						bufKeys = append(bufKeys, types.KeyOf(row, t.schema.UniqueKey))
+					}
+				}
+			}
+		} else {
+			bufKeys = bufKeys[:0]
+			t.buffer.Scan(nil, nil, t.committer.Oracle().ReadTS(), func(k []byte, r types.Row) bool {
+				if w.matches(r) {
+					bufKeys = append(bufKeys, append([]byte(nil), k...))
+				}
+				return true
+			})
+		}
+	}
+	if len(bufKeys) == 0 {
+		return 0, nil
+	}
+	tx := t.buffer.Begin(view.TS)
+	m := &mutation{}
+	updated := 0
+	for _, k := range bufKeys {
+		cur, ok, err := tx.LockAndGet(k)
+		if err != nil {
+			tx.Abort()
+			return 0, fmt.Errorf("update %s: %w", t.name, err)
+		}
+		if !ok || !w.matches(cur) {
+			continue // deleted or changed since the snapshot
+		}
+		nr := set(cur.Clone())
+		if err := t.schema.CheckRow(nr); err != nil {
+			tx.Abort()
+			return 0, fmt.Errorf("update %s: %w", t.name, err)
+		}
+		if len(t.schema.UniqueKey) > 0 {
+			if string(types.KeyOf(nr, t.schema.UniqueKey)) != string(k) {
+				tx.Abort()
+				return 0, fmt.Errorf("update %s: changing unique key columns is not supported", t.name)
+			}
+		}
+		if _, err := tx.Insert(k, nr); err != nil {
+			tx.Abort()
+			return 0, err
+		}
+		m.Inserts = append(m.Inserts, kv{Key: k, Row: nr})
+		updated++
+	}
+	if updated == 0 {
+		tx.Abort()
+		return 0, nil
+	}
+	t.committer.Commit(func(ts uint64) {
+		tx.Commit(ts)
+		t.appendLog(wal.KindInsert, ts, m)
+	})
+	t.Stats.Updates.Add(int64(updated))
+	return updated, nil
+}
+
+// DeleteWhere removes matching rows. Segment rows are moved to the buffer
+// first (§4.2) and then tombstoned under their row locks. It returns the
+// number of rows deleted.
+func (t *Table) DeleteWhere(w Where) (int, error) {
+	// See UpdateWhere: structural exclusion prevents lost deletes when a
+	// flush races with target discovery.
+	t.structMu.Lock()
+	defer t.structMu.Unlock()
+	view := t.Snapshot()
+	bufKeys, segLocs := t.findTargets(view, w)
+	if len(segLocs) > 0 {
+		if err := t.moveToBuffer(segLocs); err != nil {
+			return 0, err
+		}
+		bufKeys = bufKeys[:0]
+		t.buffer.Scan(nil, nil, t.committer.Oracle().ReadTS(), func(k []byte, r types.Row) bool {
+			if w.matches(r) {
+				bufKeys = append(bufKeys, append([]byte(nil), k...))
+			}
+			return true
+		})
+	}
+	if len(bufKeys) == 0 {
+		return 0, nil
+	}
+	tx := t.buffer.Begin(view.TS)
+	m := &mutation{}
+	deleted := 0
+	for _, k := range bufKeys {
+		cur, ok, err := tx.LockAndGet(k)
+		if err != nil {
+			tx.Abort()
+			return 0, fmt.Errorf("delete %s: %w", t.name, err)
+		}
+		if !ok || !w.matches(cur) {
+			continue
+		}
+		if _, _, err := tx.DeleteLatest(k); err != nil {
+			tx.Abort()
+			return 0, err
+		}
+		m.DeleteKeys = append(m.DeleteKeys, k)
+		deleted++
+	}
+	if deleted == 0 {
+		tx.Abort()
+		return 0, nil
+	}
+	t.committer.Commit(func(ts uint64) {
+		tx.Commit(ts)
+		t.appendLog(wal.KindDelete, ts, m)
+	})
+	t.Stats.Deletes.Add(int64(deleted))
+	return deleted, nil
+}
+
+// GetByUnique returns the live row with the given unique key values, using
+// the buffer first and then the secondary index (§4.1).
+func (t *Table) GetByUnique(vals []types.Value) (types.Row, bool, error) {
+	uk := t.schema.UniqueKey
+	if len(uk) == 0 {
+		return nil, false, ErrNoUniqueKey
+	}
+	if len(vals) != len(uk) {
+		return nil, false, fmt.Errorf("get %s: %d key values, unique key has %d columns", t.name, len(vals), len(uk))
+	}
+	readTS := t.committer.Oracle().ReadTS()
+	key := types.EncodeKey(nil, vals...)
+	if r, ok := t.buffer.Get(key, readTS); ok {
+		return r, true, nil
+	}
+	view := t.SnapshotAt(readTS)
+	matches, probes := t.idx.LookupTuple(uk, vals)
+	t.Stats.IndexProbes.Add(int64(probes))
+	for _, m := range matches {
+		for _, meta := range view.Segs {
+			if meta.Seg.ID != m.SegID {
+				continue
+			}
+			for _, off := range m.Rows {
+				if !meta.Deleted.Get(int(off)) {
+					return meta.Seg.RowAt(int(off)), true, nil
+				}
+			}
+		}
+	}
+	return nil, false, nil
+}
+
+// LookupEqual returns all live rows where col == val, using the secondary
+// index when available and scans otherwise.
+func (t *Table) LookupEqual(col int, val types.Value) []types.Row {
+	view := t.Snapshot()
+	var out []types.Row
+	view.ScanBuffer(func(r types.Row) bool {
+		if types.Equal(r[col], val) {
+			out = append(out, r)
+		}
+		return true
+	})
+	if t.idx.HasColumn(col) {
+		matches, probes := t.idx.LookupColumn(col, val)
+		t.Stats.IndexProbes.Add(int64(probes))
+		for _, m := range matches {
+			for _, meta := range view.Segs {
+				if meta.Seg.ID != m.SegID {
+					continue
+				}
+				for _, off := range m.Rows {
+					if !meta.Deleted.Get(int(off)) {
+						out = append(out, meta.Seg.RowAt(int(off)))
+					}
+				}
+			}
+		}
+		return out
+	}
+	for _, meta := range view.Segs {
+		if !meta.Seg.MayContain(col, int(vector.Eq), val) {
+			t.Stats.SegmentsEliminated.Add(1)
+			continue
+		}
+		for i := 0; i < meta.Seg.NumRows; i++ {
+			if !meta.Deleted.Get(i) && types.Equal(meta.Seg.ValueAt(i, col), val) {
+				out = append(out, meta.Seg.RowAt(i))
+			}
+		}
+	}
+	return out
+}
+
+// UniqueWhere builds a Where matching exactly the given unique key values.
+func (t *Table) UniqueWhere(vals []types.Value) Where {
+	uk := t.schema.UniqueKey
+	return Where{Col: -1, Pred: func(r types.Row) bool {
+		for i, c := range uk {
+			if !types.Equal(r[c], vals[i]) {
+				return false
+			}
+		}
+		return true
+	}}
+}
+
+// UpdateByUnique rewrites the single row with the given unique key values,
+// using the buffer fast path or a targeted move transaction (§4.2). It
+// reports whether a row was found.
+func (t *Table) UpdateByUnique(vals []types.Value, set func(types.Row) types.Row) (bool, error) {
+	uk := t.schema.UniqueKey
+	if len(uk) == 0 {
+		return false, ErrNoUniqueKey
+	}
+	key := types.EncodeKey(nil, vals...)
+	for attempt := 0; attempt < 3; attempt++ {
+		readTS := t.committer.Oracle().ReadTS()
+		tx := t.buffer.Begin(readTS)
+		cur, ok, err := tx.LockAndGet(key)
+		if err != nil {
+			tx.Abort()
+			return false, err
+		}
+		if !ok {
+			tx.Abort()
+			// The row may live in a segment: locate via the tuple index and
+			// move it under the buffer row lock. The snapshot must be taken
+			// *after* the buffer miss — a flush that tombstoned the buffer
+			// row has already committed, so only a fresh snapshot sees its
+			// segment.
+			view := t.SnapshotAt(t.committer.Oracle().ReadTS())
+			matches, probes := t.idx.LookupTuple(uk, vals)
+			t.Stats.IndexProbes.Add(int64(probes))
+			var locs []segLoc
+			for _, m := range matches {
+				if off, live := t.liveMatch(view, m); live {
+					locs = append(locs, segLoc{seg: m.SegID, off: off, key: key})
+				}
+			}
+			if len(locs) == 0 {
+				return false, nil
+			}
+			if err := t.moveToBuffer(locs); err != nil {
+				return false, err
+			}
+			continue // retry through the buffer path
+		}
+		nr := set(cur.Clone())
+		if err := t.schema.CheckRow(nr); err != nil {
+			tx.Abort()
+			return false, err
+		}
+		if string(types.KeyOf(nr, uk)) != string(key) {
+			tx.Abort()
+			return false, fmt.Errorf("update %s: changing unique key columns is not supported", t.name)
+		}
+		if _, err := tx.Insert(key, nr); err != nil {
+			tx.Abort()
+			return false, err
+		}
+		m := &mutation{Inserts: []kv{{Key: key, Row: nr}}}
+		t.committer.Commit(func(ts uint64) {
+			tx.Commit(ts)
+			t.appendLog(wal.KindInsert, ts, m)
+		})
+		t.Stats.Updates.Add(1)
+		return true, nil
+	}
+	return false, fmt.Errorf("update %s: too many move retries", t.name)
+}
+
+// DeleteByUnique removes the single row with the given unique key values.
+func (t *Table) DeleteByUnique(vals []types.Value) (bool, error) {
+	uk := t.schema.UniqueKey
+	if len(uk) == 0 {
+		return false, ErrNoUniqueKey
+	}
+	key := types.EncodeKey(nil, vals...)
+	for attempt := 0; attempt < 3; attempt++ {
+		readTS := t.committer.Oracle().ReadTS()
+		tx := t.buffer.Begin(readTS)
+		_, ok, err := tx.LockAndGet(key)
+		if err != nil {
+			tx.Abort()
+			return false, err
+		}
+		if !ok {
+			tx.Abort()
+			// Fresh snapshot: see UpdateByUnique.
+			view := t.SnapshotAt(t.committer.Oracle().ReadTS())
+			matches, probes := t.idx.LookupTuple(uk, vals)
+			t.Stats.IndexProbes.Add(int64(probes))
+			var locs []segLoc
+			for _, m := range matches {
+				if off, live := t.liveMatch(view, m); live {
+					locs = append(locs, segLoc{seg: m.SegID, off: off, key: key})
+				}
+			}
+			if len(locs) == 0 {
+				return false, nil
+			}
+			if err := t.moveToBuffer(locs); err != nil {
+				return false, err
+			}
+			continue
+		}
+		if _, _, err := tx.DeleteLatest(key); err != nil {
+			tx.Abort()
+			return false, err
+		}
+		m := &mutation{DeleteKeys: [][]byte{key}}
+		t.committer.Commit(func(ts uint64) {
+			tx.Commit(ts)
+			t.appendLog(wal.KindDelete, ts, m)
+		})
+		t.Stats.Deletes.Add(1)
+		return true, nil
+	}
+	return false, fmt.Errorf("delete %s: too many move retries", t.name)
+}

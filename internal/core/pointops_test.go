@@ -1,0 +1,280 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"s2db/internal/types"
+)
+
+func TestUpdateByUniqueBufferAndSegment(t *testing.T) {
+	tbl, _ := newTestTable(t, uniqSchema(), Config{MaxSegmentRows: 8})
+	for i := 0; i < 8; i++ {
+		tbl.Insert(urow(i, 0, "x"))
+	}
+	tbl.Flush() // rows 0..7 now live in a segment
+	tbl.Insert(urow(100, 0, "x"))
+
+	// Buffer-resident row.
+	ok, err := tbl.UpdateByUnique([]types.Value{types.NewInt(100)}, func(r types.Row) types.Row {
+		r[1] = types.NewInt(1)
+		return r
+	})
+	if err != nil || !ok {
+		t.Fatalf("buffer update = %v, %v", ok, err)
+	}
+	// Segment-resident row: needs a move transaction.
+	moves := tbl.Stats.Moves.Load()
+	ok, err = tbl.UpdateByUnique([]types.Value{types.NewInt(3)}, func(r types.Row) types.Row {
+		r[1] = types.NewInt(33)
+		return r
+	})
+	if err != nil || !ok {
+		t.Fatalf("segment update = %v, %v", ok, err)
+	}
+	if tbl.Stats.Moves.Load() == moves {
+		t.Fatal("segment update should move the row to the buffer")
+	}
+	r, _, _ := tbl.GetByUnique([]types.Value{types.NewInt(3)})
+	if r[1].I != 33 {
+		t.Fatalf("updated value = %d", r[1].I)
+	}
+	// Missing row.
+	ok, err = tbl.UpdateByUnique([]types.Value{types.NewInt(999)}, func(r types.Row) types.Row { return r })
+	if err != nil || ok {
+		t.Fatalf("missing update = %v, %v", ok, err)
+	}
+	// Changing the unique key is rejected.
+	_, err = tbl.UpdateByUnique([]types.Value{types.NewInt(3)}, func(r types.Row) types.Row {
+		r[0] = types.NewInt(4)
+		return r
+	})
+	if err == nil {
+		t.Fatal("unique-key change accepted")
+	}
+}
+
+func TestDeleteByUnique(t *testing.T) {
+	tbl, _ := newTestTable(t, uniqSchema(), Config{MaxSegmentRows: 8})
+	for i := 0; i < 8; i++ {
+		tbl.Insert(urow(i, i, "x"))
+	}
+	tbl.Flush()
+	tbl.Insert(urow(50, 50, "x"))
+
+	for _, id := range []int64{3, 50} { // segment row, buffer row
+		ok, err := tbl.DeleteByUnique([]types.Value{types.NewInt(id)})
+		if err != nil || !ok {
+			t.Fatalf("delete %d = %v, %v", id, ok, err)
+		}
+		if _, found, _ := tbl.GetByUnique([]types.Value{types.NewInt(id)}); found {
+			t.Fatalf("row %d still visible", id)
+		}
+	}
+	// Idempotence: a second delete reports not-found.
+	ok, err := tbl.DeleteByUnique([]types.Value{types.NewInt(3)})
+	if err != nil || ok {
+		t.Fatalf("double delete = %v, %v", ok, err)
+	}
+	if got := mustCount(t, tbl); got != 7 {
+		t.Fatalf("NumRows = %d", got)
+	}
+}
+
+// TestModelBasedRandomOps runs a random sequence of point operations
+// against the unified table and an in-memory map model, interleaved with
+// flushes and merges, and requires the visible contents to match exactly.
+func TestModelBasedRandomOps(t *testing.T) {
+	schema := uniqSchema()
+	schema.SortKey = 1
+	tbl, _ := newTestTable(t, schema, Config{MaxSegmentRows: 16, MergeFanout: 2})
+	model := map[int64]int64{} // id -> val
+	rng := rand.New(rand.NewSource(99))
+
+	const ops = 3000
+	for op := 0; op < ops; op++ {
+		id := int64(rng.Intn(200))
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3: // upsert
+			val := rng.Int63n(1000)
+			_, err := tbl.InsertBatch([]types.Row{urow(int(id), int(val), "m")}, InsertOptions{
+				OnDup:  DupUpdate,
+				Update: func(_, in types.Row) types.Row { return in },
+			})
+			if err != nil {
+				t.Fatalf("op %d upsert: %v", op, err)
+			}
+			model[id] = val
+		case 4, 5: // delete
+			ok, err := tbl.DeleteByUnique([]types.Value{types.NewInt(id)})
+			if err != nil {
+				t.Fatalf("op %d delete: %v", op, err)
+			}
+			if _, exists := model[id]; exists != ok {
+				t.Fatalf("op %d delete mismatch: model=%v table=%v", op, exists, ok)
+			}
+			delete(model, id)
+		case 6, 7: // point read
+			r, ok, err := tbl.GetByUnique([]types.Value{types.NewInt(id)})
+			if err != nil {
+				t.Fatalf("op %d get: %v", op, err)
+			}
+			want, exists := model[id]
+			if exists != ok {
+				t.Fatalf("op %d get existence mismatch (id=%d): model=%v table=%v", op, id, exists, ok)
+			}
+			if ok && r[1].I != want {
+				t.Fatalf("op %d get value mismatch: %d != %d", op, r[1].I, want)
+			}
+		case 8: // structural: flush
+			if _, err := tbl.Flush(); err != nil {
+				t.Fatalf("op %d flush: %v", op, err)
+			}
+		case 9: // structural: merge
+			tbl.Merge()
+		}
+	}
+	// Final full comparison.
+	view := tbl.Snapshot()
+	got := map[int64]int64{}
+	view.ScanBuffer(func(r types.Row) bool { got[r[0].I] = r[1].I; return true })
+	for _, m := range view.Segs {
+		for i := 0; i < m.Seg.NumRows; i++ {
+			if !m.Deleted.Get(i) {
+				r := m.Seg.RowAt(i)
+				if _, dup := got[r[0].I]; dup {
+					t.Fatalf("row %d visible in two places", r[0].I)
+				}
+				got[r[0].I] = r[1].I
+			}
+		}
+	}
+	if len(got) != len(model) {
+		t.Fatalf("final row count %d, model %d", len(got), len(model))
+	}
+	for id, want := range model {
+		if got[id] != want {
+			t.Fatalf("row %d = %d, model %d", id, got[id], want)
+		}
+	}
+}
+
+func TestLookupEqualOnNonIndexedColumn(t *testing.T) {
+	tbl, _ := newTestTable(t, uniqSchema(), Config{MaxSegmentRows: 8})
+	for i := 0; i < 16; i++ {
+		tbl.Insert(urow(i, i%4, fmt.Sprintf("t%d", i%2)))
+	}
+	tbl.Flush()
+	// Column 1 (val) has no index: zone-map-assisted scan path.
+	rows := tbl.LookupEqual(1, types.NewInt(2))
+	if len(rows) != 4 {
+		t.Fatalf("LookupEqual(val=2) = %d rows", len(rows))
+	}
+}
+
+func TestUpsertCounterUnderAggressiveFlushing(t *testing.T) {
+	// Regression for the flush-vs-upsert race: with the flusher constantly
+	// moving rows into segments, concurrent counter upserts must still be
+	// exactly-once.
+	tbl, _ := newTestTable(t, uniqSchema(), Config{
+		MaxSegmentRows: 4, FlushThreshold: 1, MergeFanout: 2,
+		Background: true, BackgroundInterval: 100 * time.Microsecond,
+		CompactionGrace: 50 * time.Millisecond,
+	})
+	tbl.Start()
+	defer tbl.Close()
+	const keys = 3
+	for k := 0; k < keys; k++ {
+		if err := tbl.Insert(urow(k, 0, "c")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const workers, iters = 4, 150
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				_, err := tbl.InsertBatch([]types.Row{urow(i%keys, 1, "c")}, InsertOptions{
+					OnDup: DupUpdate,
+					Update: func(old, in types.Row) types.Row {
+						out := old.Clone()
+						out[1] = types.NewInt(old[1].I + 1)
+						return out
+					},
+				})
+				if err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	var total int64
+	for k := 0; k < keys; k++ {
+		r, ok, err := tbl.GetByUnique([]types.Value{types.NewInt(int64(k))})
+		if err != nil || !ok {
+			t.Fatalf("key %d lost: %v", k, err)
+		}
+		total += r[1].I
+	}
+	if want := int64(workers * iters); total != want {
+		t.Fatalf("counter total = %d, want %d (lost or doubled updates)", total, want)
+	}
+	if got := mustCount(t, tbl); got != keys {
+		t.Fatalf("NumRows = %d, want %d (duplicate rows?)", got, keys)
+	}
+}
+
+func TestPointUpdateUnderAggressiveFlushing(t *testing.T) {
+	// Same regression through UpdateByUnique.
+	tbl, _ := newTestTable(t, uniqSchema(), Config{
+		MaxSegmentRows: 4, FlushThreshold: 1, MergeFanout: 2,
+		Background: true, BackgroundInterval: 100 * time.Microsecond,
+		CompactionGrace: 50 * time.Millisecond,
+	})
+	tbl.Start()
+	defer tbl.Close()
+	if err := tbl.Insert(urow(0, 0, "c")); err != nil {
+		t.Fatal(err)
+	}
+	const workers, iters = 4, 150
+	var wg sync.WaitGroup
+	var applied atomic.Int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				ok, err := tbl.UpdateByUnique([]types.Value{types.NewInt(0)}, func(r types.Row) types.Row {
+					r[1] = types.NewInt(r[1].I + 1)
+					return r
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if ok {
+					applied.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	r, ok, _ := tbl.GetByUnique([]types.Value{types.NewInt(0)})
+	if !ok {
+		t.Fatal("row lost")
+	}
+	if r[1].I != applied.Load() {
+		t.Fatalf("counter = %d, applied = %d", r[1].I, applied.Load())
+	}
+	if applied.Load() != workers*iters {
+		t.Fatalf("applied = %d, want %d (row reported missing under flush race)", applied.Load(), workers*iters)
+	}
+}

@@ -1,0 +1,317 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"s2db/internal/bitmap"
+	"s2db/internal/colstore"
+	"s2db/internal/types"
+	"s2db/internal/wal"
+)
+
+// kv is one buffer write: a skiplist key and the row payload.
+type kv struct {
+	Key []byte
+	Row types.Row
+}
+
+// segInstall describes a segment being added by a flush or merge record.
+type segInstall struct {
+	File     string
+	Run      int
+	Deleted  *bitmap.Bitmap // non-nil when the new segment starts with deletes (merge fixup)
+	SegBytes []byte
+}
+
+// mutation is the single payload format for every table log record: buffer
+// inserts, buffer tombstones, deleted-bit sets, segment installs and
+// segment drops. The record kind describes intent (insert vs move vs merge)
+// but replay semantics depend only on the payload, which keeps replicas and
+// PITR simple.
+type mutation struct {
+	Table      string
+	Inserts    []kv
+	DeleteKeys [][]byte
+	SegDeletes map[uint64][]int32
+	NewSegs    []segInstall
+	DropSegs   []uint64
+}
+
+func (m *mutation) encode() []byte {
+	var buf []byte
+	buf = binary.AppendUvarint(buf, uint64(len(m.Table)))
+	buf = append(buf, m.Table...)
+	buf = binary.AppendUvarint(buf, uint64(len(m.Inserts)))
+	for _, e := range m.Inserts {
+		buf = binary.AppendUvarint(buf, uint64(len(e.Key)))
+		buf = append(buf, e.Key...)
+		buf = types.EncodeRow(buf, e.Row)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(m.DeleteKeys)))
+	for _, k := range m.DeleteKeys {
+		buf = binary.AppendUvarint(buf, uint64(len(k)))
+		buf = append(buf, k...)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(m.SegDeletes)))
+	segIDs := make([]uint64, 0, len(m.SegDeletes))
+	for id := range m.SegDeletes {
+		segIDs = append(segIDs, id)
+	}
+	sort.Slice(segIDs, func(i, j int) bool { return segIDs[i] < segIDs[j] })
+	for _, id := range segIDs {
+		offs := m.SegDeletes[id]
+		buf = binary.AppendUvarint(buf, id)
+		buf = binary.AppendUvarint(buf, uint64(len(offs)))
+		for _, o := range offs {
+			buf = binary.AppendUvarint(buf, uint64(o))
+		}
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(m.NewSegs)))
+	for _, s := range m.NewSegs {
+		buf = binary.AppendUvarint(buf, uint64(len(s.File)))
+		buf = append(buf, s.File...)
+		buf = binary.AppendVarint(buf, int64(s.Run))
+		if s.Deleted != nil {
+			buf = append(buf, 1)
+			buf = s.Deleted.AppendBinary(buf)
+		} else {
+			buf = append(buf, 0)
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(s.SegBytes)))
+		buf = append(buf, s.SegBytes...)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(m.DropSegs)))
+	for _, id := range m.DropSegs {
+		buf = binary.AppendUvarint(buf, id)
+	}
+	return buf
+}
+
+func decodeMutation(buf []byte) (*mutation, error) {
+	m := &mutation{SegDeletes: map[uint64][]int32{}}
+	p := 0
+	u := func() (uint64, error) {
+		v, k := binary.Uvarint(buf[p:])
+		if k <= 0 {
+			return 0, fmt.Errorf("core: bad varint in mutation at %d", p)
+		}
+		p += k
+		return v, nil
+	}
+	nl, err := u()
+	if err != nil {
+		return nil, err
+	}
+	if p+int(nl) > len(buf) {
+		return nil, fmt.Errorf("core: truncated table name")
+	}
+	m.Table = string(buf[p : p+int(nl)])
+	p += int(nl)
+	n, err := u()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < n; i++ {
+		kl, err := u()
+		if err != nil {
+			return nil, err
+		}
+		if p+int(kl) > len(buf) {
+			return nil, fmt.Errorf("core: truncated insert key")
+		}
+		key := append([]byte(nil), buf[p:p+int(kl)]...)
+		p += int(kl)
+		row, k, err := types.DecodeRow(buf[p:])
+		if err != nil {
+			return nil, err
+		}
+		p += k
+		m.Inserts = append(m.Inserts, kv{Key: key, Row: row})
+	}
+	n, err = u()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < n; i++ {
+		kl, err := u()
+		if err != nil {
+			return nil, err
+		}
+		if p+int(kl) > len(buf) {
+			return nil, fmt.Errorf("core: truncated delete key")
+		}
+		m.DeleteKeys = append(m.DeleteKeys, append([]byte(nil), buf[p:p+int(kl)]...))
+		p += int(kl)
+	}
+	n, err = u()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < n; i++ {
+		id, err := u()
+		if err != nil {
+			return nil, err
+		}
+		cnt, err := u()
+		if err != nil {
+			return nil, err
+		}
+		offs := make([]int32, cnt)
+		for j := range offs {
+			o, err := u()
+			if err != nil {
+				return nil, err
+			}
+			offs[j] = int32(o)
+		}
+		m.SegDeletes[id] = offs
+	}
+	n, err = u()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < n; i++ {
+		fl, err := u()
+		if err != nil {
+			return nil, err
+		}
+		if p+int(fl) > len(buf) {
+			return nil, fmt.Errorf("core: truncated file name")
+		}
+		file := string(buf[p : p+int(fl)])
+		p += int(fl)
+		run, k := binary.Varint(buf[p:])
+		if k <= 0 {
+			return nil, fmt.Errorf("core: bad run")
+		}
+		p += k
+		if p >= len(buf) {
+			return nil, fmt.Errorf("core: truncated deleted flag")
+		}
+		hasDel := buf[p] == 1
+		p++
+		var del *bitmap.Bitmap
+		if hasDel {
+			var n2 int
+			del, n2, err = bitmap.Decode(buf[p:])
+			if err != nil {
+				return nil, err
+			}
+			p += n2
+		}
+		sl, err := u()
+		if err != nil {
+			return nil, err
+		}
+		if p+int(sl) > len(buf) {
+			return nil, fmt.Errorf("core: truncated segment payload")
+		}
+		segBytes := append([]byte(nil), buf[p:p+int(sl)]...)
+		p += int(sl)
+		m.NewSegs = append(m.NewSegs, segInstall{File: file, Run: int(run), Deleted: del, SegBytes: segBytes})
+	}
+	n, err = u()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < n; i++ {
+		id, err := u()
+		if err != nil {
+			return nil, err
+		}
+		m.DropSegs = append(m.DropSegs, id)
+	}
+	return m, nil
+}
+
+// appendLog serializes and appends a mutation record for this table.
+func (t *Table) appendLog(kind wal.Kind, ts uint64, m *mutation) uint64 {
+	m.Table = t.name
+	return t.log.Append(kind, ts, m.encode())
+}
+
+// TableOfRecord extracts the table name from a log record payload, so a
+// partition replayer can dispatch records to the right table.
+func TableOfRecord(rec wal.Record) (string, error) {
+	n, k := binary.Uvarint(rec.Data)
+	if k <= 0 || k+int(n) > len(rec.Data) {
+		return "", fmt.Errorf("core: bad record table header")
+	}
+	return string(rec.Data[k : k+int(n)]), nil
+}
+
+// Apply replays one log record against the table. It is used by recovery,
+// replicas and PITR; the record's CommitTS becomes the visibility
+// timestamp, and the partition oracle is advanced to it.
+func (t *Table) Apply(rec wal.Record) error {
+	m, err := decodeMutation(rec.Data)
+	if err != nil {
+		return fmt.Errorf("table %s: apply LSN %d: %w", t.name, rec.LSN, err)
+	}
+	ts := rec.CommitTS
+	tx := t.buffer.Begin(ts - 1)
+	for _, e := range m.Inserts {
+		if _, err := tx.Insert(e.Key, e.Row); err != nil {
+			tx.Abort()
+			return fmt.Errorf("table %s: replay insert: %w", t.name, err)
+		}
+		t.noteRowID(e.Key)
+	}
+	for _, k := range m.DeleteKeys {
+		if _, _, err := tx.DeleteLatest(k); err != nil {
+			tx.Abort()
+			return fmt.Errorf("table %s: replay delete: %w", t.name, err)
+		}
+	}
+	// Decode new segments outside the commit section.
+	installs := make([]*colstore.Segment, len(m.NewSegs))
+	for i, s := range m.NewSegs {
+		seg, err := colstore.Decode(s.SegBytes, t.schema)
+		if err != nil {
+			tx.Abort()
+			return fmt.Errorf("table %s: replay segment: %w", t.name, err)
+		}
+		installs[i] = seg
+		if err := t.files.SaveFile(s.File, s.SegBytes); err != nil {
+			tx.Abort()
+			return fmt.Errorf("table %s: replay file save: %w", t.name, err)
+		}
+	}
+	t.committer.ReplayAt(ts, func() {
+		for i, s := range m.NewSegs {
+			t.installSegment(ts, installs[i], s.Run, s.File, s.Deleted)
+		}
+		t.applySegDeletes(ts, m.SegDeletes)
+		for _, id := range m.DropSegs {
+			t.dropSegment(ts, id)
+		}
+		tx.Commit(ts)
+	})
+	if rec.Kind == wal.KindFlush && len(m.DeleteKeys) > 0 {
+		t.structMu.Lock()
+		t.maybeCompact()
+		t.structMu.Unlock()
+	}
+	return nil
+}
+
+// noteRowID keeps the hidden row-id allocator ahead of replayed keys so new
+// writes never collide after recovery.
+func (t *Table) noteRowID(key []byte) {
+	if len(t.schema.UniqueKey) > 0 || len(key) != 9 || key[0] != 0x01 {
+		return
+	}
+	var id uint64
+	for _, b := range key[1:] {
+		id = id<<8 | uint64(b)
+	}
+	id ^= 1 << 63
+	for {
+		cur := t.rowID.Load()
+		if cur >= id || t.rowID.CompareAndSwap(cur, id) {
+			return
+		}
+	}
+}

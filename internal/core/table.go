@@ -1,0 +1,415 @@
+// Package core implements the paper's primary contribution: unified
+// (universal) table storage (§4). A table is a columnstore LSM whose top
+// level is an in-memory MVCC rowstore buffer; deletes are represented as
+// bit vectors in segment metadata instead of tombstone records, so reads
+// never pay merge-based reconciliation; secondary and unique keys are
+// served by the two-level index of §4.1; and updates/deletes use move
+// transactions with row-level locking (§4.2). One Table object manages one
+// partition of one logical table.
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"s2db/internal/colstore"
+	"s2db/internal/index"
+	"s2db/internal/rowstore"
+	"s2db/internal/txn"
+	"s2db/internal/types"
+	"s2db/internal/wal"
+)
+
+// Config tunes one table partition.
+type Config struct {
+	// MaxSegmentRows caps segment size and sets the flush batch size.
+	MaxSegmentRows int
+	// FlushThreshold is the buffer row count at which the background
+	// flusher converts rows to a segment. Defaults to MaxSegmentRows.
+	FlushThreshold int
+	// MergeFanout controls the LSM merge policy (§2.1.2).
+	MergeFanout int
+	// LockTimeout bounds row-lock and unique-key-lock waits.
+	LockTimeout time.Duration
+	// Background enables the flusher/merger goroutines when the table is
+	// started.
+	Background bool
+	// BackgroundInterval is the poll interval of background work.
+	BackgroundInterval time.Duration
+	// CompactionGrace is how long tombstoned buffer nodes are retained for
+	// old snapshots before physical removal. Readers must not use
+	// snapshots older than this.
+	CompactionGrace time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxSegmentRows <= 0 {
+		c.MaxSegmentRows = colstore.MaxSegmentRows
+	}
+	if c.FlushThreshold <= 0 {
+		c.FlushThreshold = c.MaxSegmentRows
+	}
+	if c.MergeFanout < 2 {
+		c.MergeFanout = 4
+	}
+	if c.LockTimeout <= 0 {
+		c.LockTimeout = 2 * time.Second
+	}
+	if c.BackgroundInterval <= 0 {
+		c.BackgroundInterval = 2 * time.Millisecond
+	}
+	if c.CompactionGrace <= 0 {
+		c.CompactionGrace = time.Second
+	}
+	return c
+}
+
+// FileStore persists segment data files. The cluster layer backs this with
+// the local file cache plus blob staging; standalone tables use MemFiles.
+type FileStore interface {
+	SaveFile(name string, data []byte) error
+	LoadFile(name string) ([]byte, error)
+	RemoveFile(name string) error
+}
+
+// MemFiles is an in-memory FileStore for standalone tables and tests.
+type MemFiles struct {
+	mu sync.Mutex
+	m  map[string][]byte
+}
+
+// NewMemFiles returns an empty in-memory file store.
+func NewMemFiles() *MemFiles { return &MemFiles{m: make(map[string][]byte)} }
+
+// SaveFile implements FileStore.
+func (f *MemFiles) SaveFile(name string, data []byte) error {
+	f.mu.Lock()
+	f.m[name] = append([]byte(nil), data...)
+	f.mu.Unlock()
+	return nil
+}
+
+// LoadFile implements FileStore.
+func (f *MemFiles) LoadFile(name string) ([]byte, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	d, ok := f.m[name]
+	if !ok {
+		return nil, fmt.Errorf("memfiles: %s not found", name)
+	}
+	return d, nil
+}
+
+// RemoveFile implements FileStore.
+func (f *MemFiles) RemoveFile(name string) error {
+	f.mu.Lock()
+	delete(f.m, name)
+	f.mu.Unlock()
+	return nil
+}
+
+// Committer serializes commit publication for one partition: a commit
+// allocates the next timestamp, applies its effects, and publishes by
+// advancing the partition oracle, so readers at ReadTS always see fully
+// applied transactions (partition-local snapshot isolation, §2.1.2).
+type Committer struct {
+	mu     sync.Mutex
+	oracle *txn.Oracle
+}
+
+// NewCommitter wraps a partition oracle.
+func NewCommitter(o *txn.Oracle) *Committer { return &Committer{oracle: o} }
+
+// Oracle returns the underlying oracle.
+func (c *Committer) Oracle() *txn.Oracle { return c.oracle }
+
+// Commit runs fn with the next commit timestamp and publishes it. fn must
+// be short: it installs already-prepared state.
+func (c *Committer) Commit(fn func(ts uint64)) uint64 {
+	c.mu.Lock()
+	ts := c.oracle.ReadTS() + 1
+	fn(ts)
+	c.oracle.AdvanceTo(ts)
+	c.mu.Unlock()
+	return ts
+}
+
+// ReplayAt runs fn under the commit mutex and publishes the recorded
+// timestamp ts, used by log replay to reproduce original commit times.
+func (c *Committer) ReplayAt(ts uint64, fn func()) {
+	c.mu.Lock()
+	fn()
+	c.oracle.AdvanceTo(ts)
+	c.mu.Unlock()
+}
+
+// segEntry tracks one segment's lifetime and its metadata version chain.
+// The chain is the MVCC view of the mutable metadata the paper keeps in a
+// durable rowstore table (§2.1.2): each deleted-bits update installs a new
+// version at its commit timestamp.
+type segEntry struct {
+	createTS uint64
+	dropTS   atomic.Uint64 // 0 while live
+	versions atomic.Pointer[metaVersion]
+	// remap is set when the segment is retired by a merge: it maps each
+	// surviving row offset to its new location, so a move transaction that
+	// committed after the merge can re-apply its deleted bits ("the commit
+	// process applies all segment merges between the scan timestamp and the
+	// commit timestamp of the move transaction", §4.2).
+	remap atomic.Pointer[map[int32]remapTarget]
+}
+
+type remapTarget struct {
+	seg uint64
+	off int32
+}
+
+type metaVersion struct {
+	ts   uint64
+	meta *colstore.Meta
+	prev *metaVersion
+}
+
+// metaAt returns the metadata version visible at ts, or nil when the
+// segment is not visible.
+func (e *segEntry) metaAt(ts uint64) *colstore.Meta {
+	if e.createTS > ts {
+		return nil
+	}
+	if d := e.dropTS.Load(); d != 0 && d <= ts {
+		return nil
+	}
+	for v := e.versions.Load(); v != nil; v = v.prev {
+		if v.ts <= ts {
+			return v.meta
+		}
+	}
+	return nil
+}
+
+// latestMeta returns the newest metadata version.
+func (e *segEntry) latestMeta() *colstore.Meta { return e.versions.Load().meta }
+
+// Stats counts table operations for the experiment harness.
+type Stats struct {
+	Inserts, Updates, Deletes       atomic.Int64
+	Flushes, Merges, Moves          atomic.Int64
+	IndexProbes, SegmentsEliminated atomic.Int64
+	DupConflicts                    atomic.Int64
+}
+
+// Table is one partition of a unified-storage table.
+type Table struct {
+	name   string
+	schema *types.Schema
+	cfg    Config
+
+	committer *Committer
+	log       *wal.Log
+	files     FileStore
+
+	buffer *rowstore.Store
+	uniq   *txn.LockManager
+	idx    *index.Set
+
+	// structMu serializes structural changes (flush, merge, move installs)
+	// so move transactions and merges can be reordered safely (§4.2). It is
+	// never held while waiting for user locks.
+	structMu sync.Mutex
+
+	segMu   sync.RWMutex
+	segs    map[uint64]*segEntry
+	nextSeg atomic.Uint64
+	nextRun atomic.Int64
+	rowID   atomic.Uint64
+
+	// Stats is exported for the benchmark harness.
+	Stats Stats
+
+	bg struct {
+		stop chan struct{}
+		wg   sync.WaitGroup
+		once sync.Once
+	}
+
+	// tsHistory records (timestamp, wall time) pairs so compaction can pick
+	// a keepTS that every plausible reader has moved past. Guarded by
+	// structMu, as is lastCompact.
+	tsHistory   []tsStamp
+	lastCompact time.Time
+}
+
+type tsStamp struct {
+	ts uint64
+	at time.Time
+}
+
+// NewTable creates a table partition. committer and log are shared by all
+// tables of the partition; files persists segment payloads.
+func NewTable(name string, schema *types.Schema, cfg Config, committer *Committer, log *wal.Log, files FileStore) (*Table, error) {
+	if err := schema.Validate(); err != nil {
+		return nil, fmt.Errorf("table %s: %w", name, err)
+	}
+	cfg = cfg.withDefaults()
+	t := &Table{
+		name:      name,
+		schema:    schema,
+		cfg:       cfg,
+		committer: committer,
+		log:       log,
+		files:     files,
+		buffer:    rowstore.NewStore(cfg.LockTimeout),
+		uniq:      txn.NewLockManager(),
+		idx:       index.NewSet(schema),
+		segs:      make(map[uint64]*segEntry),
+	}
+	return t, nil
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Schema returns the table schema.
+func (t *Table) Schema() *types.Schema { return t.schema }
+
+// Index exposes the secondary-index set (used by adaptive execution, §5).
+func (t *Table) Index() *index.Set { return t.idx }
+
+// Oracle returns the partition timestamp oracle.
+func (t *Table) Oracle() *txn.Oracle { return t.committer.Oracle() }
+
+// BufferLen returns the number of live rows in the in-memory buffer.
+func (t *Table) BufferLen() int { return t.buffer.Len() }
+
+// SegmentCount returns the number of live segments at the latest snapshot.
+func (t *Table) SegmentCount() int {
+	ts := t.committer.Oracle().ReadTS()
+	t.segMu.RLock()
+	defer t.segMu.RUnlock()
+	n := 0
+	for _, e := range t.segs {
+		if e.metaAt(ts) != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// bufferKey returns the skiplist key for a row: the unique key when one is
+// declared, otherwise a hidden monotonically increasing row id.
+func (t *Table) bufferKey(r types.Row) []byte {
+	if len(t.schema.UniqueKey) > 0 {
+		return types.KeyOf(r, t.schema.UniqueKey)
+	}
+	return types.EncodeKey(nil, types.NewInt(int64(t.rowID.Add(1))))
+}
+
+// View is a consistent snapshot of the table at one timestamp, combining
+// the visible segments (with their deleted-bits versions as of TS) and the
+// buffer contents at TS.
+type View struct {
+	TS     uint64
+	Schema *types.Schema
+	Segs   []*colstore.Meta
+	table  *Table
+}
+
+// Snapshot returns a view at the latest published timestamp.
+func (t *Table) Snapshot() *View { return t.SnapshotAt(t.committer.Oracle().ReadTS()) }
+
+// SnapshotAt returns a view at the given timestamp.
+func (t *Table) SnapshotAt(ts uint64) *View {
+	t.segMu.RLock()
+	segs := make([]*colstore.Meta, 0, len(t.segs))
+	for _, e := range t.segs {
+		if m := e.metaAt(ts); m != nil {
+			segs = append(segs, m)
+		}
+	}
+	t.segMu.RUnlock()
+	return &View{TS: ts, Schema: t.schema, Segs: segs, table: t}
+}
+
+// ScanBuffer iterates the live buffer rows at the view's snapshot.
+func (v *View) ScanBuffer(f func(r types.Row) bool) {
+	v.table.buffer.Scan(nil, nil, v.TS, func(_ []byte, r types.Row) bool { return f(r) })
+}
+
+// ScanBufferRange iterates live buffer rows with keys in [from, to) at the
+// view's snapshot; nil bounds are open. Point and prefix probes use this to
+// avoid walking the whole write buffer.
+func (v *View) ScanBufferRange(from, to []byte, f func(r types.Row) bool) {
+	v.table.buffer.Scan(from, to, v.TS, func(_ []byte, r types.Row) bool { return f(r) })
+}
+
+// Index exposes the table's secondary indexes. Callers must restrict index
+// matches to segments present in the view.
+func (v *View) Index() *index.Set { return v.table.idx }
+
+// HasSegment reports whether the given segment id is part of the view.
+func (v *View) HasSegment(id uint64) bool {
+	for _, m := range v.Segs {
+		if m.Seg.ID == id {
+			return true
+		}
+	}
+	return false
+}
+
+// NumRows counts live rows in the view (buffer + segments minus deletes).
+func (v *View) NumRows() int {
+	n := 0
+	for _, m := range v.Segs {
+		n += m.LiveRows()
+	}
+	v.ScanBuffer(func(types.Row) bool { n++; return true })
+	return n
+}
+
+// EnableBackground turns on background maintenance on a table created
+// without it (a replica promoted to master, §2) and starts it.
+func (t *Table) EnableBackground() {
+	if t.cfg.Background {
+		return
+	}
+	t.cfg.Background = true
+	t.Start()
+}
+
+// Start launches the background flusher and merger when configured.
+func (t *Table) Start() {
+	if !t.cfg.Background || t.bg.stop != nil {
+		return
+	}
+	t.bg.stop = make(chan struct{})
+	t.bg.wg.Add(1)
+	go func() {
+		defer t.bg.wg.Done()
+		ticker := time.NewTicker(t.cfg.BackgroundInterval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-t.bg.stop:
+				return
+			case <-ticker.C:
+				if t.buffer.Len() >= t.cfg.FlushThreshold {
+					t.Flush() //nolint:errcheck // background flush retries next tick
+				}
+				t.Merge()
+				t.structMu.Lock()
+				t.maybeCompact()
+				t.structMu.Unlock()
+			}
+		}
+	}()
+}
+
+// Close stops background work.
+func (t *Table) Close() {
+	if t.bg.stop != nil {
+		t.bg.once.Do(func() { close(t.bg.stop) })
+		t.bg.wg.Wait()
+	}
+}

@@ -1,0 +1,355 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"s2db/internal/colstore"
+	"s2db/internal/index"
+	"s2db/internal/types"
+	"s2db/internal/wal"
+)
+
+// DupPolicy selects the unique-key conflict behaviour of §4.1.2.
+type DupPolicy uint8
+
+const (
+	// DupError reports ErrDuplicateKey (the default).
+	DupError DupPolicy = iota
+	// DupSkip drops conflicting rows (SKIP DUPLICATE KEY ERRORS).
+	DupSkip
+	// DupReplace deletes the conflicting row and inserts the new one
+	// (REPLACE).
+	DupReplace
+	// DupUpdate rewrites the conflicting row via the batch's update
+	// callback (ON DUPLICATE KEY UPDATE).
+	DupUpdate
+)
+
+// ErrDuplicateKey is returned by inserts violating a unique key under
+// DupError.
+var ErrDuplicateKey = errors.New("core: duplicate unique key")
+
+// ErrNoUniqueKey is returned when a unique-key operation targets a table
+// without one.
+var ErrNoUniqueKey = errors.New("core: table has no unique key")
+
+// InsertOptions tunes a batch insert.
+type InsertOptions struct {
+	OnDup DupPolicy
+	// Update merges an incoming row into an existing one under DupUpdate.
+	// nil means "take the incoming row".
+	Update func(existing, incoming types.Row) types.Row
+}
+
+// InsertResult reports what a batch insert did.
+type InsertResult struct {
+	Inserted, Skipped, Replaced, Updated int
+	// LSN is the log record's sequence number; the cluster layer waits on
+	// it for replication durability.
+	LSN uint64
+	// CommitTS is the transaction's publish timestamp.
+	CommitTS uint64
+}
+
+// Insert adds one row with default options.
+func (t *Table) Insert(row types.Row) error {
+	_, err := t.InsertBatch([]types.Row{row}, InsertOptions{})
+	return err
+}
+
+// Upsert adds one row, updating the existing row on unique-key conflict.
+func (t *Table) Upsert(row types.Row) error {
+	_, err := t.InsertBatch([]types.Row{row}, InsertOptions{OnDup: DupUpdate})
+	return err
+}
+
+// InsertBatch ingests rows with unique-key enforcement (§4.1.2): it locks
+// the unique key values in the in-memory lock manager, probes the secondary
+// index (and buffer) for duplicates, applies the configured conflict
+// policy, and commits buffer writes plus any deleted-bit updates as one
+// transaction.
+func (t *Table) InsertBatch(rows []types.Row, opts InsertOptions) (InsertResult, error) {
+	var res InsertResult
+	for _, r := range rows {
+		if err := t.schema.CheckRow(r); err != nil {
+			return res, err
+		}
+	}
+	uk := t.schema.UniqueKey
+	if len(uk) == 0 {
+		// No unique key: straight buffer inserts.
+		tx := t.buffer.Begin(t.committer.Oracle().ReadTS())
+		m := &mutation{}
+		for _, r := range rows {
+			key := t.bufferKey(r)
+			if _, err := tx.Insert(key, r); err != nil {
+				tx.Abort()
+				return res, fmt.Errorf("insert %s: %w", t.name, err)
+			}
+			m.Inserts = append(m.Inserts, kv{Key: key, Row: r})
+		}
+		res.CommitTS = t.committer.Commit(func(ts uint64) {
+			tx.Commit(ts)
+			res.LSN = t.appendLog(wal.KindInsert, ts, m)
+		})
+		res.Inserted = len(rows)
+		t.Stats.Inserts.Add(int64(len(rows)))
+		return res, nil
+	}
+
+	// Step 1 (§4.1.2): lock the unique key values for the whole batch.
+	hashes := make([]uint64, len(rows))
+	keyVals := make([][]types.Value, len(rows))
+	for i, r := range rows {
+		vals := make([]types.Value, len(uk))
+		for j, c := range uk {
+			v := r[c]
+			if v.IsNull {
+				return res, fmt.Errorf("insert %s: unique key column %q is null", t.name, t.schema.Columns[c].Name)
+			}
+			vals[j] = v
+		}
+		keyVals[i] = vals
+		hashes[i] = index.HashTuple(vals)
+	}
+	release, err := t.uniq.Acquire(hashes, t.cfg.LockTimeout)
+	if err != nil {
+		return res, fmt.Errorf("insert %s: %w", t.name, err)
+	}
+	defer release()
+
+	// Step 2: probe for duplicates in segments (via the index) and buffer.
+	type hit struct {
+		inBuffer bool
+		segID    uint64
+		segOff   int32
+	}
+	readTS := t.committer.Oracle().ReadTS()
+	view := t.SnapshotAt(readTS)
+	dups := make([]*hit, len(rows))
+	// Also detect duplicates *within* the batch.
+	seen := make(map[string]int, len(rows))
+	for i, vals := range keyVals {
+		k := string(types.EncodeKey(nil, vals...))
+		if _, dupInBatch := seen[k]; dupInBatch {
+			switch opts.OnDup {
+			case DupError:
+				t.Stats.DupConflicts.Add(1)
+				return res, fmt.Errorf("%w: within batch", ErrDuplicateKey)
+			default:
+				// Later occurrences resolve against the earlier ones once
+				// they are applied; mark by probing again below.
+			}
+		}
+		seen[k] = i
+		if _, ok := t.buffer.Get([]byte(k), readTS); ok {
+			dups[i] = &hit{inBuffer: true}
+			continue
+		}
+		matches, probes := t.idx.LookupTuple(uk, vals)
+		t.Stats.IndexProbes.Add(int64(probes))
+		for _, m := range matches {
+			if loc, ok := t.liveMatch(view, m); ok {
+				dups[i] = &hit{segID: m.SegID, segOff: loc}
+				break
+			}
+		}
+	}
+	if opts.OnDup == DupError {
+		for _, d := range dups {
+			if d != nil {
+				t.Stats.DupConflicts.Add(1)
+				return res, ErrDuplicateKey
+			}
+		}
+	}
+
+	// Step 3: move conflicting segment rows to the buffer so the update or
+	// replace happens under row locks (§4.2), then apply the batch.
+	var moves []segLoc
+	for i, d := range dups {
+		if d != nil && !d.inBuffer && opts.OnDup != DupSkip {
+			moves = append(moves, segLoc{seg: d.segID, off: d.segOff, key: types.EncodeKey(nil, keyVals[i]...)})
+		}
+	}
+	if len(moves) > 0 {
+		if err := t.moveToBuffer(moves); err != nil {
+			return res, fmt.Errorf("insert %s: move: %w", t.name, err)
+		}
+	}
+
+	tx := t.buffer.Begin(readTS)
+	m := &mutation{}
+	for i, r := range rows {
+		key := types.EncodeKey(nil, keyVals[i]...)
+		// Re-probe the buffer for the latest state (a move may have landed
+		// the conflicting row here, or an earlier batch row inserted it).
+		existing, exists, err := tx.LockAndGet(key)
+		if err != nil {
+			tx.Abort()
+			return res, fmt.Errorf("insert %s: lock: %w", t.name, err)
+		}
+		if !exists && dups[i] != nil && opts.OnDup == DupSkip {
+			// The duplicate lives in a segment; skip the incoming row.
+			res.Skipped++
+			continue
+		}
+		if !exists && dups[i] != nil && (opts.OnDup == DupReplace || opts.OnDup == DupUpdate) {
+			// The conflicting row was in the buffer at probe time but a
+			// concurrent flush moved it into a segment before we locked it.
+			// Re-locate at a fresh snapshot, move it back under our lock,
+			// and re-read.
+			view := t.SnapshotAt(t.committer.Oracle().ReadTS())
+			matches, probes := t.idx.LookupTuple(uk, keyVals[i])
+			t.Stats.IndexProbes.Add(int64(probes))
+			for _, mm := range matches {
+				if off, live := t.liveMatch(view, mm); live {
+					if err := t.moveToBuffer([]segLoc{{seg: mm.SegID, off: off, key: key}}); err != nil {
+						tx.Abort()
+						return res, fmt.Errorf("insert %s: move: %w", t.name, err)
+					}
+					break
+				}
+			}
+			existing, exists, err = tx.LockAndGet(key)
+			if err != nil {
+				tx.Abort()
+				return res, fmt.Errorf("insert %s: relock: %w", t.name, err)
+			}
+		}
+		if exists {
+			switch opts.OnDup {
+			case DupError:
+				tx.Abort()
+				t.Stats.DupConflicts.Add(1)
+				return res, ErrDuplicateKey
+			case DupSkip:
+				res.Skipped++
+				continue
+			case DupReplace:
+				if _, err := tx.Insert(key, r); err != nil {
+					tx.Abort()
+					return res, err
+				}
+				m.Inserts = append(m.Inserts, kv{Key: key, Row: r})
+				res.Replaced++
+				continue
+			case DupUpdate:
+				nr := r
+				if opts.Update != nil {
+					nr = opts.Update(existing, r)
+				}
+				if _, err := tx.Insert(key, nr); err != nil {
+					tx.Abort()
+					return res, err
+				}
+				m.Inserts = append(m.Inserts, kv{Key: key, Row: nr})
+				res.Updated++
+				continue
+			}
+		}
+		if _, err := tx.Insert(key, r); err != nil {
+			tx.Abort()
+			return res, err
+		}
+		m.Inserts = append(m.Inserts, kv{Key: key, Row: r})
+		res.Inserted++
+	}
+	if len(m.Inserts) == 0 {
+		tx.Abort()
+		return res, nil
+	}
+	res.CommitTS = t.committer.Commit(func(ts uint64) {
+		tx.Commit(ts)
+		res.LSN = t.appendLog(wal.KindInsert, ts, m)
+	})
+	t.Stats.Inserts.Add(int64(res.Inserted))
+	t.Stats.Updates.Add(int64(res.Updated + res.Replaced))
+	return res, nil
+}
+
+// liveMatch returns the first row offset of an index match that is visible
+// in the view (not deleted, segment present).
+func (t *Table) liveMatch(view *View, m index.Match) (int32, bool) {
+	for _, meta := range view.Segs {
+		if meta.Seg.ID != m.SegID {
+			continue
+		}
+		for _, off := range m.Rows {
+			if !meta.Deleted.Get(int(off)) {
+				return off, true
+			}
+		}
+		return 0, false
+	}
+	return 0, false
+}
+
+// BulkLoad ingests rows directly into columnstore segments, bypassing the
+// buffer — the batch-load path that keeps data "only in highly compressed
+// columnstore format" (§7's contrast with TiDB). Unique keys are checked
+// against existing data under DupError only.
+func (t *Table) BulkLoad(rows []types.Row) error {
+	for _, r := range rows {
+		if err := t.schema.CheckRow(r); err != nil {
+			return err
+		}
+	}
+	if len(rows) == 0 {
+		return nil
+	}
+	if len(t.schema.UniqueKey) > 0 {
+		seen := make(map[string]struct{}, len(rows))
+		readTS := t.committer.Oracle().ReadTS()
+		view := t.SnapshotAt(readTS)
+		for _, r := range rows {
+			k := string(types.KeyOf(r, t.schema.UniqueKey))
+			if _, dup := seen[k]; dup {
+				return fmt.Errorf("%w: within bulk load", ErrDuplicateKey)
+			}
+			seen[k] = struct{}{}
+			if _, ok := t.buffer.Get([]byte(k), readTS); ok {
+				return ErrDuplicateKey
+			}
+			vals := make([]types.Value, len(t.schema.UniqueKey))
+			for j, c := range t.schema.UniqueKey {
+				vals[j] = r[c]
+			}
+			matches, _ := t.idx.LookupTuple(t.schema.UniqueKey, vals)
+			for _, m := range matches {
+				if _, live := t.liveMatch(view, m); live {
+					return ErrDuplicateKey
+				}
+			}
+		}
+	}
+	t.structMu.Lock()
+	defer t.structMu.Unlock()
+	for start := 0; start < len(rows); start += t.cfg.MaxSegmentRows {
+		end := start + t.cfg.MaxSegmentRows
+		if end > len(rows) {
+			end = len(rows)
+		}
+		b := colstore.NewBuilder(t.schema)
+		for _, r := range rows[start:end] {
+			b.Add(r)
+		}
+		segID := t.nextSeg.Add(1) - 1
+		seg := b.Build(segID)
+		run := int(t.nextRun.Add(1) - 1)
+		file := fmt.Sprintf("%s/seg-%08d-lp%08d", t.name, segID, t.log.Head())
+		segBytes := seg.Encode()
+		if err := t.files.SaveFile(file, segBytes); err != nil {
+			return fmt.Errorf("bulk load %s: %w", t.name, err)
+		}
+		t.committer.Commit(func(ts uint64) {
+			t.installSegment(ts, seg, run, file, nil)
+			t.appendLog(wal.KindFlush, ts, &mutation{
+				NewSegs: []segInstall{{File: file, Run: run, SegBytes: segBytes}},
+			})
+		})
+	}
+	t.Stats.Inserts.Add(int64(len(rows)))
+	return nil
+}

@@ -1,0 +1,370 @@
+package exec
+
+import (
+	"math"
+	"sort"
+
+	"s2db/internal/codec"
+	"s2db/internal/core"
+	"s2db/internal/types"
+)
+
+// AggFunc enumerates the supported aggregate functions.
+type AggFunc uint8
+
+// Aggregate functions.
+const (
+	Count AggFunc = iota
+	Sum
+	Min
+	Max
+	Avg
+)
+
+// AggSpec is one aggregate output: either over a plain column (Col) or a
+// computed expression (Expr takes precedence when set). Computed
+// expressions cover forms like sum(extendedprice * (1 - discount)).
+type AggSpec struct {
+	Func AggFunc
+	Col  int
+	Expr func(r types.Row) types.Value
+	// ExprCols lists the columns Expr reads, enabling projection pushdown
+	// in the general aggregation path; nil means "unknown" (materialize
+	// every column).
+	ExprCols []int
+}
+
+type aggState struct {
+	count  int64
+	sumI   int64
+	sumF   float64
+	minV   types.Value
+	maxV   types.Value
+	hasVal bool
+}
+
+func (a *aggState) add(v types.Value) {
+	if v.IsNull {
+		return
+	}
+	a.count++
+	switch v.Type {
+	case types.Int64:
+		a.sumI += v.I
+	case types.Float64:
+		a.sumF += v.F
+	}
+	if !a.hasVal {
+		a.minV, a.maxV = v, v
+		a.hasVal = true
+		return
+	}
+	if types.Compare(v, a.minV) < 0 {
+		a.minV = v
+	}
+	if types.Compare(v, a.maxV) > 0 {
+		a.maxV = v
+	}
+}
+
+// merge folds another partial state into a.
+func (a *aggState) merge(b *aggState) {
+	if b.count == 0 {
+		return
+	}
+	a.count += b.count
+	a.sumI += b.sumI
+	a.sumF += b.sumF
+	if b.hasVal {
+		if !a.hasVal {
+			a.minV, a.maxV = b.minV, b.maxV
+			a.hasVal = true
+		} else {
+			if types.Compare(b.minV, a.minV) < 0 {
+				a.minV = b.minV
+			}
+			if types.Compare(b.maxV, a.maxV) > 0 {
+				a.maxV = b.maxV
+			}
+		}
+	}
+}
+
+func (a *aggState) result(f AggFunc, t types.ColType) types.Value {
+	switch f {
+	case Count:
+		return types.NewInt(a.count)
+	case Sum:
+		if t == types.Int64 {
+			return types.NewInt(a.sumI)
+		}
+		return types.NewFloat(a.sumF)
+	case Min:
+		if !a.hasVal {
+			return types.Null(t)
+		}
+		return a.minV
+	case Max:
+		if !a.hasVal {
+			return types.Null(t)
+		}
+		return a.maxV
+	default: // Avg
+		if a.count == 0 {
+			return types.Null(types.Float64)
+		}
+		if t == types.Int64 {
+			return types.NewFloat(float64(a.sumI) / float64(a.count))
+		}
+		return types.NewFloat(a.sumF / float64(a.count))
+	}
+}
+
+// Aggregate runs a grouped aggregation over the filtered view. The result
+// rows contain the group-by values followed by one value per AggSpec. With
+// no group columns a single row is returned. Segment inputs use columnar
+// access; buffer rows are folded in row-wise, so analytics always see data
+// that has not been flushed yet (the HTAP property of §4).
+func Aggregate(view *core.View, filter Node, groupCols []int, aggs []AggSpec, scan *Scan) []types.Row {
+	if scan == nil {
+		scan = NewScan(view, filter)
+	}
+	type group struct {
+		key    types.Row
+		states []aggState
+	}
+	groups := map[string]*group{}
+	var keyBuf []byte
+	touch := func(key types.Row) *group {
+		keyBuf = types.EncodeKey(keyBuf[:0], key...)
+		g, ok := groups[string(keyBuf)]
+		if !ok {
+			g = &group{key: key.Clone(), states: make([]aggState, len(aggs))}
+			groups[string(keyBuf)] = g
+		}
+		return g
+	}
+	resultType := make([]types.ColType, len(aggs))
+	for ai, a := range aggs {
+		if a.Expr == nil && a.Col >= 0 {
+			resultType[ai] = view.Schema.Columns[a.Col].Type
+		} else {
+			resultType[ai] = types.Float64 // refined per value below
+		}
+	}
+
+	addRow := func(r types.Row) {
+		key := make(types.Row, len(groupCols))
+		for i, c := range groupCols {
+			key[i] = r[c]
+		}
+		g := touch(key)
+		for ai, a := range aggs {
+			var v types.Value
+			switch {
+			case a.Func == Count && a.Expr == nil && a.Col < 0:
+				v = types.NewInt(1)
+			case a.Expr != nil:
+				v = a.Expr(r)
+				resultType[ai] = v.Type
+			default:
+				v = r[a.Col]
+			}
+			g.states[ai].add(v)
+		}
+	}
+
+	scan.RunBuffer(func(r types.Row) bool { addRow(r); return true })
+	scan.RunSegments(func(ctx *SegContext, sel []int32) {
+		seg := ctx.Meta.Seg
+		// Encoded group-by (§2.1.2: "encoded execution" for group-by):
+		// grouping by a dictionary-encoded string column aggregates per
+		// dictionary code and maps codes to values once per segment.
+		if len(groupCols) == 1 && allPlainAggs(aggs) {
+			if d, ok := seg.Cols[groupCols[0]].Strs.(*codec.Dict); ok &&
+				(seg.Cols[groupCols[0]].Nulls == nil) {
+				if ctx.Stats != nil {
+					ctx.Stats.EncodedFilters++ // counted with encoded ops
+				}
+				perCode := aggregateByDict(ctx, d, sel, aggs)
+				for code, st := range perCode {
+					if st == nil {
+						continue
+					}
+					g := touch(types.Row{types.NewString(d.DictValue(code))})
+					for ai := range aggs {
+						g.states[ai].merge(&st[ai])
+					}
+				}
+				return
+			}
+		}
+		// Fast path: no grouping, no expressions — columnar fold.
+		simple := len(groupCols) == 0
+		for _, a := range aggs {
+			if a.Expr != nil {
+				simple = false
+			}
+		}
+		if simple {
+			g := touch(nil)
+			for ai, a := range aggs {
+				if a.Func == Count && a.Col < 0 {
+					g.states[ai].count += int64(len(sel))
+					continue
+				}
+				col := seg.Cols[a.Col]
+				t := seg.Schema().Columns[a.Col].Type
+				switch t {
+				case types.Int64:
+					vals := ctx.ints(a.Col)
+					for _, i := range sel {
+						if col.Nulls != nil && col.Nulls.Get(int(i)) {
+							continue
+						}
+						g.states[ai].add(types.NewInt(vals[i]))
+					}
+				case types.Float64:
+					raw := ctx.ints(a.Col)
+					for _, i := range sel {
+						if col.Nulls != nil && col.Nulls.Get(int(i)) {
+							continue
+						}
+						g.states[ai].add(types.NewFloat(math.Float64frombits(uint64(raw[i]))))
+					}
+				default:
+					for _, i := range sel {
+						g.states[ai].add(seg.ValueAt(int(i), a.Col))
+					}
+				}
+			}
+			return
+		}
+		// General path: materialize rows lazily (late materialization: only
+		// the columns the grouping and aggregates read decode, and for
+		// dense selections each decodes once).
+		_ = seg
+		proj := aggProjection(groupCols, aggs)
+		mat := ctx.Materializer(proj, len(sel)*4 >= ctx.Meta.Seg.NumRows)
+		for _, i := range sel {
+			addRow(mat(int(i)))
+		}
+	})
+
+	out := make([]types.Row, 0, len(groups))
+	for _, g := range groups {
+		row := make(types.Row, 0, len(groupCols)+len(aggs))
+		row = append(row, g.key...)
+		for ai, a := range aggs {
+			row = append(row, g.states[ai].result(a.Func, resultType[ai]))
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// allPlainAggs reports whether every aggregate reads a plain column (no
+// expressions), the precondition for encoded group-by.
+func allPlainAggs(aggs []AggSpec) bool {
+	for _, a := range aggs {
+		if a.Expr != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// aggregateByDict folds the selection into per-dictionary-code aggregate
+// states. Grouping cost is one bit-packed code load per row; the string
+// values are touched once per distinct value, not per row.
+func aggregateByDict(ctx *SegContext, d *codec.Dict, sel []int32, aggs []AggSpec) [][]aggState {
+	seg := ctx.Meta.Seg
+	states := make([][]aggState, d.DictSize())
+	for _, i := range sel {
+		code := d.Code(int(i))
+		st := states[code]
+		if st == nil {
+			st = make([]aggState, len(aggs))
+			states[code] = st
+		}
+		for ai, a := range aggs {
+			if a.Func == Count && a.Col < 0 {
+				st[ai].count++
+				continue
+			}
+			col := seg.Cols[a.Col]
+			if col.Nulls != nil && col.Nulls.Get(int(i)) {
+				continue
+			}
+			switch seg.Schema().Columns[a.Col].Type {
+			case types.Int64:
+				st[ai].add(types.NewInt(ctx.ints(a.Col)[i]))
+			case types.Float64:
+				st[ai].add(types.NewFloat(math.Float64frombits(uint64(ctx.ints(a.Col)[i]))))
+			default:
+				st[ai].add(types.NewString(ctx.strs(a.Col)[i]))
+			}
+		}
+	}
+	return states
+}
+
+// aggProjection returns the set of columns a grouped aggregation reads, or
+// nil when an expression's column set is unknown.
+func aggProjection(groupCols []int, aggs []AggSpec) []int {
+	seen := map[int]bool{}
+	var out []int
+	add := func(c int) {
+		if c >= 0 && !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	for _, c := range groupCols {
+		add(c)
+	}
+	for _, a := range aggs {
+		if a.Expr != nil {
+			if a.ExprCols == nil {
+				return nil
+			}
+			for _, c := range a.ExprCols {
+				add(c)
+			}
+			continue
+		}
+		add(a.Col)
+	}
+	return out
+}
+
+// SortKey orders result rows.
+type SortKey struct {
+	Col  int
+	Desc bool
+}
+
+// SortRows sorts rows by the given keys.
+func SortRows(rows []types.Row, keys []SortKey) {
+	sort.SliceStable(rows, func(i, j int) bool {
+		for _, k := range keys {
+			c := types.Compare(rows[i][k.Col], rows[j][k.Col])
+			if c == 0 {
+				continue
+			}
+			if k.Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+}
+
+// Limit truncates rows to at most n.
+func Limit(rows []types.Row, n int) []types.Row {
+	if len(rows) > n {
+		return rows[:n]
+	}
+	return rows
+}

@@ -1,0 +1,126 @@
+package exec
+
+import (
+	"s2db/internal/core"
+	"s2db/internal/types"
+)
+
+// AggregateViews runs a grouped aggregation across several partition views
+// and merges the partial results — the aggregator-node side of distributed
+// query execution (§2). Avg is decomposed into Sum and Count so partials
+// merge exactly.
+func AggregateViews(views []*core.View, filter Node, groupCols []int, aggs []AggSpec, stats *ScanStats) []types.Row {
+	partialSpecs := make([]AggSpec, 0, len(aggs)+2)
+	avgParts := make(map[int][2]int)
+	finalIdx := make([]int, len(aggs))
+	for i, a := range aggs {
+		if a.Func == Avg {
+			sumIdx := len(partialSpecs)
+			partialSpecs = append(partialSpecs, AggSpec{Func: Sum, Col: a.Col, Expr: a.Expr})
+			countIdx := len(partialSpecs)
+			partialSpecs = append(partialSpecs, AggSpec{Func: Count, Col: a.Col, Expr: a.Expr})
+			avgParts[i] = [2]int{sumIdx, countIdx}
+			finalIdx[i] = -1
+			continue
+		}
+		finalIdx[i] = len(partialSpecs)
+		partialSpecs = append(partialSpecs, a)
+	}
+
+	type acc struct {
+		key  types.Row
+		vals []types.Value
+	}
+	merged := map[string]*acc{}
+	ng := len(groupCols)
+	for _, v := range views {
+		scan := NewScan(v, filter)
+		partial := Aggregate(v, filter, groupCols, partialSpecs, scan)
+		if stats != nil {
+			accumulate(stats, scan.Stats)
+		}
+		for _, pr := range partial {
+			key := pr[:ng]
+			kb := types.EncodeKey(nil, key...)
+			a, ok := merged[string(kb)]
+			if !ok {
+				a = &acc{key: key.Clone(), vals: make([]types.Value, len(partialSpecs))}
+				copy(a.vals, pr[ng:])
+				merged[string(kb)] = a
+				continue
+			}
+			for si, spec := range partialSpecs {
+				a.vals[si] = MergeAggValue(spec.Func, a.vals[si], pr[ng+si])
+			}
+		}
+	}
+	out := make([]types.Row, 0, len(merged))
+	for _, a := range merged {
+		row := make(types.Row, 0, ng+len(aggs))
+		row = append(row, a.key...)
+		for i, spec := range aggs {
+			if spec.Func == Avg {
+				parts := avgParts[i]
+				sum, cnt := a.vals[parts[0]], a.vals[parts[1]]
+				if cnt.IsNull || cnt.I == 0 {
+					row = append(row, types.Null(types.Float64))
+					continue
+				}
+				var s float64
+				if sum.Type == types.Int64 {
+					s = float64(sum.I)
+				} else {
+					s = sum.F
+				}
+				row = append(row, types.NewFloat(s/float64(cnt.I)))
+				continue
+			}
+			row = append(row, a.vals[finalIdx[i]])
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// MergeAggValue combines two partial aggregate values of the same function.
+func MergeAggValue(f AggFunc, a, b types.Value) types.Value {
+	switch f {
+	case Count:
+		return types.NewInt(a.I + b.I)
+	case Sum:
+		if a.Type == types.Int64 {
+			return types.NewInt(a.I + b.I)
+		}
+		return types.NewFloat(a.F + b.F)
+	case Min:
+		if a.IsNull {
+			return b
+		}
+		if b.IsNull || types.Compare(a, b) <= 0 {
+			return a
+		}
+		return b
+	default: // Max (Avg never reaches here: decomposed)
+		if a.IsNull {
+			return b
+		}
+		if b.IsNull || types.Compare(a, b) >= 0 {
+			return a
+		}
+		return b
+	}
+}
+
+func accumulate(dst *ScanStats, src ScanStats) {
+	dst.SegmentsScanned += src.SegmentsScanned
+	dst.SegmentsSkipped += src.SegmentsSkipped
+	dst.IndexFilters += src.IndexFilters
+	dst.EncodedFilters += src.EncodedFilters
+	dst.RegularFilters += src.RegularFilters
+	dst.GroupFilters += src.GroupFilters
+	dst.RowsScanned += src.RowsScanned
+	dst.RowsOutput += src.RowsOutput
+	dst.GlobalIndexProbes += src.GlobalIndexProbes
+	dst.JoinIndexFilters += src.JoinIndexFilters
+	dst.JoinIndexFallbacks += src.JoinIndexFallbacks
+}

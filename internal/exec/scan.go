@@ -1,0 +1,248 @@
+package exec
+
+import (
+	"s2db/internal/core"
+	"s2db/internal/types"
+	"s2db/internal/vector"
+)
+
+// Scan drives filtered data access over a table view, implementing the
+// three steps of §5: (1) find the segments to read — via the global
+// secondary indexes and zone maps (§5.1), (2) run filters per segment to a
+// selection vector (§5.2), (3) selectively decode the surviving rows.
+type Scan struct {
+	View   *core.View
+	Filter Node // nil scans everything
+	// Stats accumulates adaptive-execution counters.
+	Stats ScanStats
+	// DisableIndexSkipping turns off step-1 index use (ablation).
+	DisableIndexSkipping bool
+	// IndexKeyLimitFactor bounds index probing: the index is skipped when
+	// the number of probe keys exceeds this fraction of live segments
+	// ("S2DB dynamically disables the use of a secondary index if the
+	// number of keys to look up is too high relative to the table size",
+	// §5.1). Zero means the default of 1 key per segment.
+	IndexKeyLimitFactor float64
+	// BufferFrom/BufferTo restrict the buffer side of the scan to a key
+	// range (set when the filter pins a unique-key prefix), so OLTP probes
+	// seek instead of walking the whole write buffer.
+	BufferFrom, BufferTo []byte
+	// Project lists the only columns Run must materialize (nil = all) —
+	// late materialization's projection pushdown.
+	Project []int
+}
+
+// NewScan builds a scan over a view.
+func NewScan(view *core.View, filter Node) *Scan {
+	return &Scan{View: view, Filter: filter}
+}
+
+// eqProbe describes an indexable equality or IN clause usable for segment
+// skipping.
+type eqProbe struct {
+	col  int
+	vals []types.Value
+}
+
+// indexableProbes extracts top-level conjunction clauses that can use the
+// global index for segment selection.
+func (s *Scan) indexableProbes() []eqProbe {
+	idx := s.View.Index()
+	if idx == nil || s.Filter == nil || s.DisableIndexSkipping {
+		return nil
+	}
+	var leaves []*Leaf
+	switch f := s.Filter.(type) {
+	case *Leaf:
+		leaves = []*Leaf{f}
+	case *And:
+		for _, c := range f.Children {
+			if l, ok := c.(*Leaf); ok {
+				leaves = append(leaves, l)
+			}
+		}
+	}
+	var probes []eqProbe
+	for _, l := range leaves {
+		if !idx.HasColumn(l.Col) {
+			continue
+		}
+		switch {
+		case len(l.In) > 0:
+			probes = append(probes, eqProbe{col: l.Col, vals: l.In})
+		case l.Op == vector.Eq && !l.Val.IsNull:
+			probes = append(probes, eqProbe{col: l.Col, vals: []types.Value{l.Val}})
+		}
+	}
+	return probes
+}
+
+// candidateSegments applies §5.1: the secondary-index check runs first
+// (O(log N) probes), and its result restricts the zone-map checks. It
+// returns the indices into View.Segs to scan.
+func (s *Scan) candidateSegments() []int {
+	view := s.View
+	all := make([]int, 0, len(view.Segs))
+	// Step 1a: global-index candidates.
+	probes := s.indexableProbes()
+	var allowed map[uint64]bool
+	if len(probes) > 0 {
+		limit := s.IndexKeyLimitFactor
+		if limit <= 0 {
+			limit = 1
+		}
+		maxKeys := int(limit * float64(len(view.Segs)))
+		if maxKeys < 8 {
+			maxKeys = 8
+		}
+		for _, p := range probes {
+			if len(p.vals) > maxKeys {
+				continue // dynamically disabled: too many probe keys
+			}
+			cand := map[uint64]bool{}
+			for _, v := range p.vals {
+				matches, probes := view.Index().LookupColumn(p.col, v)
+				s.Stats.GlobalIndexProbes += int64(probes)
+				for _, m := range matches {
+					cand[m.SegID] = true
+				}
+			}
+			if allowed == nil {
+				allowed = cand
+			} else {
+				for id := range allowed {
+					if !cand[id] {
+						delete(allowed, id)
+					}
+				}
+			}
+		}
+	}
+	// Step 1b: zone maps on the remaining candidates.
+	var zoneLeaves []*Leaf
+	switch f := s.Filter.(type) {
+	case *Leaf:
+		if len(f.In) == 0 {
+			zoneLeaves = []*Leaf{f}
+		}
+	case *And:
+		for _, c := range f.Children {
+			if l, ok := c.(*Leaf); ok && len(l.In) == 0 {
+				zoneLeaves = append(zoneLeaves, l)
+			}
+		}
+	}
+	for i, m := range view.Segs {
+		if allowed != nil && !allowed[m.Seg.ID] {
+			s.Stats.SegmentsSkipped++
+			continue
+		}
+		eliminated := false
+		for _, l := range zoneLeaves {
+			if l.Val.IsNull {
+				continue
+			}
+			if !m.Seg.MayContain(l.Col, int(l.Op), l.Val) {
+				eliminated = true
+				break
+			}
+		}
+		if eliminated {
+			s.Stats.SegmentsSkipped++
+			continue
+		}
+		all = append(all, i)
+	}
+	return all
+}
+
+// RunSegments calls f once per surviving segment with the filtered
+// selection vector (deleted rows removed). The SegContext's decode caches
+// are shared with f, so aggregations reuse the filter's column decodes.
+func (s *Scan) RunSegments(f func(ctx *SegContext, sel []int32)) {
+	for _, si := range s.candidateSegments() {
+		meta := s.View.Segs[si]
+		s.Stats.SegmentsScanned++
+		s.Stats.RowsScanned += int64(meta.Seg.NumRows)
+		ctx := NewSegContext(meta, s.View.Index(), &s.Stats)
+		sel := make([]int32, 0, meta.Seg.NumRows)
+		if meta.Deleted.Count() == 0 {
+			for i := 0; i < meta.Seg.NumRows; i++ {
+				sel = append(sel, int32(i))
+			}
+		} else {
+			for i := 0; i < meta.Seg.NumRows; i++ {
+				if !meta.Deleted.Get(i) {
+					sel = append(sel, int32(i))
+				}
+			}
+		}
+		if s.Filter != nil {
+			sel = s.Filter.EvalSeg(ctx, sel, make([]int32, 0, len(sel)))
+		}
+		if len(sel) > 0 {
+			s.Stats.RowsOutput += int64(len(sel))
+			f(ctx, sel)
+		}
+	}
+}
+
+// RunBuffer evaluates the filter over the in-memory buffer rows.
+func (s *Scan) RunBuffer(f func(r types.Row) bool) {
+	if s.BufferFrom != nil || s.BufferTo != nil {
+		s.View.ScanBufferRange(s.BufferFrom, s.BufferTo, func(r types.Row) bool {
+			if s.Filter == nil || s.Filter.EvalRow(r) {
+				s.Stats.RowsOutput++
+				return f(r)
+			}
+			return true
+		})
+		return
+	}
+	s.View.ScanBuffer(func(r types.Row) bool {
+		if s.Filter == nil || s.Filter.EvalRow(r) {
+			s.Stats.RowsOutput++
+			return f(r)
+		}
+		return true
+	})
+}
+
+// Run materializes every matching row (buffer and segments). The emitted
+// row may be reused between calls: callers that retain rows must Clone
+// them.
+func (s *Scan) Run(emit func(r types.Row) bool) {
+	stop := false
+	s.RunBuffer(func(r types.Row) bool {
+		if !emit(r) {
+			stop = true
+			return false
+		}
+		return true
+	})
+	if stop {
+		return
+	}
+	s.RunSegments(func(ctx *SegContext, sel []int32) {
+		if stop {
+			return
+		}
+		// Dense selections amortize one DecodeAll per column; sparse ones
+		// seek per row (the adaptive materialization choice of §5).
+		mat := ctx.Materializer(s.Project, len(sel)*4 >= ctx.Meta.Seg.NumRows)
+		for _, i := range sel {
+			if !emit(mat(int(i))) {
+				stop = true
+				return
+			}
+		}
+	})
+}
+
+// Count returns the number of matching rows without materializing them.
+func (s *Scan) Count() int64 {
+	var n int64
+	s.RunBuffer(func(types.Row) bool { n++; return true })
+	s.RunSegments(func(_ *SegContext, sel []int32) { n += int64(len(sel)) })
+	return n
+}

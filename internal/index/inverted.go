@@ -1,0 +1,82 @@
+package index
+
+import (
+	"s2db/internal/colstore"
+	"s2db/internal/types"
+)
+
+// SegmentIndex is the per-segment inverted index for one column (§4.1): it
+// maps each distinct value in the segment to the postings list of row
+// offsets holding that value. Segments are immutable, so the index is
+// built once at segment creation and never changes.
+type SegmentIndex struct {
+	// entries maps the order-preserving key encoding of the value to its
+	// postings list. The actual column values live here, not in the global
+	// index, which keeps global-index merges cheap for wide columns (§4.1).
+	entries map[string]Postings
+}
+
+// BuildSegmentIndex scans one column of a segment and builds its inverted
+// index. Null values are not indexed (a NULL never equals anything).
+func BuildSegmentIndex(seg *colstore.Segment, col int) *SegmentIndex {
+	si := &SegmentIndex{entries: make(map[string]Postings)}
+	for i := 0; i < seg.NumRows; i++ {
+		v := seg.ValueAt(i, col)
+		if v.IsNull {
+			continue
+		}
+		k := string(types.EncodeKey(nil, v))
+		si.entries[k] = append(si.entries[k], int32(i))
+	}
+	return si
+}
+
+// Lookup returns the postings list for val (nil when absent). The list is
+// shared; callers must not mutate it.
+func (si *SegmentIndex) Lookup(val types.Value) Postings {
+	if val.IsNull {
+		return nil
+	}
+	return si.entries[string(types.EncodeKey(nil, val))]
+}
+
+// DistinctValues returns the number of distinct indexed values, used by the
+// global index write-cost accounting ("the global index only stores
+// information about the unique values in each segment", §4.1).
+func (si *SegmentIndex) DistinctValues() int { return len(si.entries) }
+
+// ValueHashes returns the hash of every distinct value in the index, for
+// registration in the global index.
+func (si *SegmentIndex) ValueHashes() []uint64 {
+	out := make([]uint64, 0, len(si.entries))
+	seen := make(map[uint64]struct{}, len(si.entries))
+	for k := range si.entries {
+		h := hashKeyBytes(k)
+		if _, dup := seen[h]; !dup {
+			seen[h] = struct{}{}
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// hashKeyBytes hashes an encoded key string; it must agree with HashValue.
+func hashKeyBytes(k string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(k); i++ {
+		h ^= uint64(k[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// HashValue hashes a value the way the global index expects.
+func HashValue(v types.Value) uint64 {
+	return hashKeyBytes(string(types.EncodeKey(nil, v)))
+}
+
+// HashTuple hashes a tuple of values for multi-column global indexes
+// (§4.1.1: "mapping from the hash of each tuple").
+func HashTuple(vals []types.Value) uint64 {
+	return hashKeyBytes(string(types.EncodeKey(nil, vals...)))
+}

@@ -1,0 +1,269 @@
+package index
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"s2db/internal/colstore"
+	"s2db/internal/types"
+)
+
+// Match is an index lookup result: the row offsets matching the probe
+// within one segment.
+type Match struct {
+	SegID uint64
+	Rows  Postings
+}
+
+// Set manages every secondary-index structure for one table partition,
+// composing them the way §4.1.1 prescribes: single-column inverted and
+// global indexes are built per indexed column and *shared* across
+// multi-column indexes; each multi-column index additionally gets a global
+// index keyed by the tuple hash to skip segments cheaply on full-key
+// probes.
+type Set struct {
+	schema *types.Schema
+
+	mu sync.RWMutex
+	// cols holds the shared single-column structures, keyed by ordinal.
+	cols map[int]*columnIndex
+	// tuples holds the per-multi-column-key tuple global indexes, keyed by
+	// the ordinal list rendered as a string.
+	tuples map[string]*GlobalIndex
+}
+
+type columnIndex struct {
+	global *GlobalIndex
+	segs   map[uint64]*SegmentIndex
+}
+
+// tupleKey renders ordinals for map keying.
+func tupleKey(cols []int) string { return fmt.Sprint(cols) }
+
+// NewSet builds the index structures required by the schema's secondary
+// and unique keys.
+func NewSet(schema *types.Schema) *Set {
+	s := &Set{
+		schema: schema,
+		cols:   make(map[int]*columnIndex),
+		tuples: make(map[string]*GlobalIndex),
+	}
+	addKey := func(key []int) {
+		for _, c := range key {
+			if _, ok := s.cols[c]; !ok {
+				s.cols[c] = &columnIndex{global: NewGlobalIndex(0), segs: make(map[uint64]*SegmentIndex)}
+			}
+		}
+		if len(key) > 1 {
+			k := tupleKey(key)
+			if _, ok := s.tuples[k]; !ok {
+				s.tuples[k] = NewGlobalIndex(0)
+			}
+		}
+	}
+	for _, key := range schema.SecondaryKeys {
+		addKey(key)
+	}
+	if len(schema.UniqueKey) > 0 {
+		addKey(schema.UniqueKey)
+	}
+	return s
+}
+
+// IndexedColumns returns the ordinals with single-column structures, in
+// ascending order.
+func (s *Set) IndexedColumns() []int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]int, 0, len(s.cols))
+	for c := range s.cols {
+		out = append(out, c)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// HasColumn reports whether the ordinal has a single-column index.
+func (s *Set) HasColumn(c int) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.cols[c]
+	return ok
+}
+
+// AddSegment indexes a freshly created segment: one inverted index per
+// indexed column plus registrations in the per-column and per-tuple global
+// indexes. Segments are immutable so this happens exactly once (§4.1).
+func (s *Set) AddSegment(seg *colstore.Segment) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for c, ci := range s.cols {
+		si := BuildSegmentIndex(seg, c)
+		ci.segs[seg.ID] = si
+		ci.global.AddSegment(seg.ID, si.ValueHashes())
+	}
+	for key, gi := range s.tuples {
+		_ = key
+		cols := parseTupleKey(key)
+		hashes := tupleHashesOf(seg, cols)
+		gi.AddSegment(seg.ID, hashes)
+	}
+}
+
+func tupleHashesOf(seg *colstore.Segment, cols []int) []uint64 {
+	seen := make(map[uint64]struct{})
+	var out []uint64
+	vals := make([]types.Value, len(cols))
+	for i := 0; i < seg.NumRows; i++ {
+		null := false
+		for j, c := range cols {
+			vals[j] = seg.ValueAt(i, c)
+			if vals[j].IsNull {
+				null = true
+				break
+			}
+		}
+		if null {
+			continue
+		}
+		h := HashTuple(vals)
+		if _, dup := seen[h]; !dup {
+			seen[h] = struct{}{}
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+func parseTupleKey(k string) []int {
+	var out []int
+	n := 0
+	in := false
+	for i := 0; i < len(k); i++ {
+		c := k[i]
+		if c >= '0' && c <= '9' {
+			n = n*10 + int(c-'0')
+			in = true
+		} else if in {
+			out = append(out, n)
+			n = 0
+			in = false
+		}
+	}
+	if in {
+		out = append(out, n)
+	}
+	return out
+}
+
+// DropSegment lazily removes a segment from every structure (after a merge
+// retires it).
+func (s *Set) DropSegment(segID uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, ci := range s.cols {
+		delete(ci.segs, segID)
+		ci.global.DropSegment(segID)
+	}
+	for _, gi := range s.tuples {
+		gi.DropSegment(segID)
+	}
+}
+
+// LookupColumn finds all (segment, rows) matches for column == val using
+// the global index to select candidate segments and the per-segment
+// inverted indexes for postings. probes reports global hash-table probes.
+func (s *Set) LookupColumn(col int, val types.Value) (matches []Match, probes int) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ci, ok := s.cols[col]
+	if !ok || val.IsNull {
+		return nil, 0
+	}
+	segs, p := ci.global.Lookup(HashValue(val))
+	probes = p
+	for _, segID := range segs {
+		si := ci.segs[segID]
+		if si == nil {
+			continue
+		}
+		if rows := si.Lookup(val); len(rows) > 0 {
+			matches = append(matches, Match{SegID: segID, Rows: rows})
+		}
+	}
+	return matches, probes
+}
+
+// LookupTuple finds matches for a full key probe (every indexed column
+// equal). For multi-column keys it uses the tuple global index to skip
+// segments, then intersects per-column postings (§4.1.1).
+func (s *Set) LookupTuple(cols []int, vals []types.Value) (matches []Match, probes int) {
+	if len(cols) == 1 {
+		return s.LookupColumn(cols[0], vals[0])
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	gi, ok := s.tuples[tupleKey(cols)]
+	if !ok {
+		return nil, 0
+	}
+	for _, v := range vals {
+		if v.IsNull {
+			return nil, 0
+		}
+	}
+	segs, p := gi.Lookup(HashTuple(vals))
+	probes = p
+	for _, segID := range segs {
+		lists := make([]Postings, 0, len(cols))
+		ok := true
+		for i, c := range cols {
+			ci := s.cols[c]
+			si := ci.segs[segID]
+			if si == nil {
+				ok = false
+				break
+			}
+			l := si.Lookup(vals[i])
+			if len(l) == 0 {
+				ok = false
+				break
+			}
+			lists = append(lists, l)
+		}
+		if !ok {
+			continue
+		}
+		if rows := IntersectAll(lists); len(rows) > 0 {
+			matches = append(matches, Match{SegID: segID, Rows: rows})
+		}
+	}
+	return matches, probes
+}
+
+// SegmentPostings returns the postings list for one (segment, column,
+// value), used by the secondary-index filter strategy (§5.2).
+func (s *Set) SegmentPostings(segID uint64, col int, val types.Value) (Postings, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ci, ok := s.cols[col]
+	if !ok {
+		return nil, false
+	}
+	si := ci.segs[segID]
+	if si == nil {
+		return nil, false
+	}
+	return si.Lookup(val), true
+}
+
+// GlobalLevels reports the per-column global LSM depths, for tests.
+func (s *Set) GlobalLevels(col int) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if ci, ok := s.cols[col]; ok {
+		return ci.global.Levels()
+	}
+	return 0
+}

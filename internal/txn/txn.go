@@ -1,0 +1,130 @@
+// Package txn provides the transaction-time machinery shared by the storage
+// layers: a commit-timestamp oracle implementing partition-local snapshot
+// isolation (§2.1.2: "reads need to use partition-local snapshot isolation
+// to guarantee a consistent view of the table") and the in-memory lock
+// manager used for unique-key enforcement (§4.1.2).
+package txn
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Oracle hands out monotonically increasing timestamps for one partition.
+// ReadTS returns the latest fully-committed timestamp, which readers use as
+// their snapshot; Next allocates a new commit timestamp.
+type Oracle struct {
+	ts atomic.Uint64
+}
+
+// Next allocates the next commit timestamp.
+func (o *Oracle) Next() uint64 { return o.ts.Add(1) }
+
+// ReadTS returns the snapshot timestamp for a new reader.
+func (o *Oracle) ReadTS() uint64 { return o.ts.Load() }
+
+// AdvanceTo raises the clock to at least ts (used by log replay and
+// replication to keep replica clocks in sync with the master).
+func (o *Oracle) AdvanceTo(ts uint64) {
+	for {
+		cur := o.ts.Load()
+		if cur >= ts || o.ts.CompareAndSwap(cur, ts) {
+			return
+		}
+	}
+}
+
+// ErrKeyLockTimeout is returned when a unique-key lock cannot be acquired
+// in time.
+var ErrKeyLockTimeout = errors.New("txn: unique-key lock wait timed out")
+
+// LockManager is the in-memory lock manager of §4.1.2: it locks unique-key
+// hash values so concurrent ingests of the same key serialize before the
+// secondary-index duplicate check.
+type LockManager struct {
+	mu    sync.Mutex
+	held  map[uint64]struct{}
+	waits map[uint64]*sync.Cond
+}
+
+// NewLockManager returns an empty lock manager.
+func NewLockManager() *LockManager {
+	return &LockManager{held: make(map[uint64]struct{}), waits: make(map[uint64]*sync.Cond)}
+}
+
+// Acquire locks every key hash in keys, waiting up to timeout. Keys are
+// locked in sorted order so concurrent batches cannot deadlock. On success
+// it returns a release function; the caller must invoke it exactly once.
+func (m *LockManager) Acquire(keys []uint64, timeout time.Duration) (release func(), err error) {
+	sorted := append([]uint64(nil), keys...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	// Dedup: a batch may contain the same key twice.
+	uniq := sorted[:0]
+	for i, k := range sorted {
+		if i == 0 || k != sorted[i-1] {
+			uniq = append(uniq, k)
+		}
+	}
+	deadline := time.Now().Add(timeout)
+	acquired := make([]uint64, 0, len(uniq))
+	releaseAll := func() {
+		m.mu.Lock()
+		for _, k := range acquired {
+			delete(m.held, k)
+			if c, ok := m.waits[k]; ok {
+				c.Broadcast()
+			}
+		}
+		m.mu.Unlock()
+	}
+	for _, k := range uniq {
+		if !m.acquireOne(k, deadline) {
+			releaseAll()
+			return nil, ErrKeyLockTimeout
+		}
+		acquired = append(acquired, k)
+	}
+	var once sync.Once
+	return func() { once.Do(releaseAll) }, nil
+}
+
+func (m *LockManager) acquireOne(k uint64, deadline time.Time) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		if _, busy := m.held[k]; !busy {
+			m.held[k] = struct{}{}
+			return true
+		}
+		c, ok := m.waits[k]
+		if !ok {
+			c = sync.NewCond(&m.mu)
+			m.waits[k] = c
+		}
+		// sync.Cond has no deadline; poke waiters periodically so the
+		// deadline is observed even without a release.
+		done := make(chan struct{})
+		timer := time.AfterFunc(time.Until(deadline), func() {
+			m.mu.Lock()
+			c.Broadcast()
+			m.mu.Unlock()
+			close(done)
+		})
+		c.Wait()
+		timer.Stop()
+		select {
+		case <-done:
+		default:
+		}
+		if time.Now().After(deadline) {
+			if _, busy := m.held[k]; busy {
+				return false
+			}
+			m.held[k] = struct{}{}
+			return true
+		}
+	}
+}

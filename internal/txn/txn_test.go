@@ -1,0 +1,137 @@
+package txn
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestOracleMonotonic(t *testing.T) {
+	var o Oracle
+	if o.ReadTS() != 0 {
+		t.Fatal("fresh oracle should read 0")
+	}
+	a, b := o.Next(), o.Next()
+	if a != 1 || b != 2 {
+		t.Fatalf("Next gave %d, %d", a, b)
+	}
+	if o.ReadTS() != 2 {
+		t.Fatalf("ReadTS = %d", o.ReadTS())
+	}
+	o.AdvanceTo(100)
+	if o.ReadTS() != 100 {
+		t.Fatalf("AdvanceTo failed: %d", o.ReadTS())
+	}
+	o.AdvanceTo(50) // never goes backwards
+	if o.ReadTS() != 100 {
+		t.Fatalf("AdvanceTo went backwards: %d", o.ReadTS())
+	}
+}
+
+func TestOracleConcurrentUnique(t *testing.T) {
+	var o Oracle
+	const n = 1000
+	seen := make([]uint64, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) { defer wg.Done(); seen[i] = o.Next() }(i)
+	}
+	wg.Wait()
+	uniq := map[uint64]bool{}
+	for _, ts := range seen {
+		if uniq[ts] {
+			t.Fatalf("duplicate timestamp %d", ts)
+		}
+		uniq[ts] = true
+	}
+}
+
+func TestLockManagerMutualExclusion(t *testing.T) {
+	m := NewLockManager()
+	rel, err := m.Acquire([]uint64{1, 2}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A conflicting acquire times out while held.
+	if _, err := m.Acquire([]uint64{2, 3}, 30*time.Millisecond); err != ErrKeyLockTimeout {
+		t.Fatalf("conflicting acquire got %v", err)
+	}
+	// A disjoint acquire succeeds immediately.
+	rel2, err := m.Acquire([]uint64{10}, 30*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel2()
+	rel()
+	// After release, the conflicting keys are free.
+	rel3, err := m.Acquire([]uint64{2, 3}, 30*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel3()
+}
+
+func TestLockManagerWaitersWake(t *testing.T) {
+	m := NewLockManager()
+	rel, _ := m.Acquire([]uint64{7}, time.Second)
+	got := make(chan error, 1)
+	go func() {
+		rel2, err := m.Acquire([]uint64{7}, 2*time.Second)
+		if err == nil {
+			rel2()
+		}
+		got <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	rel()
+	select {
+	case err := <-got:
+		if err != nil {
+			t.Fatalf("waiter got %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("waiter never woke")
+	}
+}
+
+func TestLockManagerDuplicateKeysInBatch(t *testing.T) {
+	m := NewLockManager()
+	rel, err := m.Acquire([]uint64{5, 5, 5}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel()
+	rel() // double release is a no-op
+	rel2, err := m.Acquire([]uint64{5}, 30*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel2()
+}
+
+func TestLockManagerNoDeadlockOnOrdering(t *testing.T) {
+	// Two goroutines acquiring overlapping sets in opposite order must not
+	// deadlock because Acquire sorts keys.
+	m := NewLockManager()
+	var wg sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			keys := []uint64{1, 2, 3}
+			if g == 1 {
+				keys = []uint64{3, 2, 1}
+			}
+			for i := 0; i < 200; i++ {
+				rel, err := m.Acquire(keys, 5*time.Second)
+				if err != nil {
+					t.Errorf("goroutine %d: %v", g, err)
+					return
+				}
+				rel()
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,313 @@
+// Package types defines the value model shared by every storage and
+// execution layer in s2db: column types, schemas, rows and the ordering,
+// equality and hashing rules the engine relies on.
+package types
+
+import (
+	"fmt"
+	"hash/maphash"
+	"math"
+	"strings"
+)
+
+// ColType enumerates the column types supported by the engine.
+type ColType uint8
+
+const (
+	// Int64 is a 64-bit signed integer column.
+	Int64 ColType = iota
+	// Float64 is a 64-bit IEEE-754 column.
+	Float64
+	// String is a variable-length byte-string column.
+	String
+)
+
+// String returns the SQL-ish name of the type.
+func (t ColType) String() string {
+	switch t {
+	case Int64:
+		return "BIGINT"
+	case Float64:
+		return "DOUBLE"
+	case String:
+		return "TEXT"
+	}
+	return fmt.Sprintf("ColType(%d)", uint8(t))
+}
+
+// Value is a dynamically-typed cell. Exactly one representation is active,
+// selected by Type. Null values have IsNull set.
+type Value struct {
+	Type   ColType
+	IsNull bool
+	I      int64
+	F      float64
+	S      string
+}
+
+// NewInt returns an Int64 value.
+func NewInt(v int64) Value { return Value{Type: Int64, I: v} }
+
+// NewFloat returns a Float64 value.
+func NewFloat(v float64) Value { return Value{Type: Float64, F: v} }
+
+// NewString returns a String value.
+func NewString(v string) Value { return Value{Type: String, S: v} }
+
+// Null returns a null value of type t.
+func Null(t ColType) Value { return Value{Type: t, IsNull: true} }
+
+// String renders the value for debugging and harness output.
+func (v Value) String() string {
+	if v.IsNull {
+		return "NULL"
+	}
+	switch v.Type {
+	case Int64:
+		return fmt.Sprintf("%d", v.I)
+	case Float64:
+		return fmt.Sprintf("%g", v.F)
+	case String:
+		return v.S
+	}
+	return "?"
+}
+
+// Compare orders two values of the same type. Nulls sort first. The result
+// is negative, zero or positive in the manner of strings.Compare.
+func Compare(a, b Value) int {
+	if a.IsNull || b.IsNull {
+		switch {
+		case a.IsNull && b.IsNull:
+			return 0
+		case a.IsNull:
+			return -1
+		default:
+			return 1
+		}
+	}
+	switch a.Type {
+	case Int64:
+		switch {
+		case a.I < b.I:
+			return -1
+		case a.I > b.I:
+			return 1
+		}
+		return 0
+	case Float64:
+		switch {
+		case a.F < b.F:
+			return -1
+		case a.F > b.F:
+			return 1
+		}
+		return 0
+	case String:
+		return strings.Compare(a.S, b.S)
+	}
+	return 0
+}
+
+// Equal reports whether two values are equal. Nulls equal only nulls.
+func Equal(a, b Value) bool { return Compare(a, b) == 0 }
+
+var hashSeed = maphash.MakeSeed()
+
+// Hash returns a 64-bit hash of the value, suitable for hash partitioning
+// and the global secondary-index hash tables.
+func Hash(v Value) uint64 {
+	var h maphash.Hash
+	h.SetSeed(hashSeed)
+	if v.IsNull {
+		h.WriteByte(0xff)
+		return h.Sum64()
+	}
+	switch v.Type {
+	case Int64:
+		var b [8]byte
+		putUint64(b[:], uint64(v.I))
+		h.Write(b[:])
+	case Float64:
+		var b [8]byte
+		putUint64(b[:], math.Float64bits(v.F))
+		h.Write(b[:])
+	case String:
+		h.WriteString(v.S)
+	}
+	return h.Sum64()
+}
+
+// HashMany hashes a tuple of values, used for shard keys and multi-column
+// unique-key checks.
+func HashMany(vs []Value) uint64 {
+	var h uint64 = 14695981039346656037
+	for _, v := range vs {
+		h ^= Hash(v)
+		h *= 1099511628211
+	}
+	return h
+}
+
+func putUint64(b []byte, v uint64) {
+	_ = b[7]
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+	b[4] = byte(v >> 32)
+	b[5] = byte(v >> 40)
+	b[6] = byte(v >> 48)
+	b[7] = byte(v >> 56)
+}
+
+// Row is a tuple of values laid out in schema column order.
+type Row []Value
+
+// Clone returns a deep-enough copy of the row (strings are immutable in Go,
+// so value copies suffice).
+func (r Row) Clone() Row {
+	out := make(Row, len(r))
+	copy(out, r)
+	return out
+}
+
+// Project returns the sub-row at the given column ordinals.
+func (r Row) Project(cols []int) Row {
+	out := make(Row, len(cols))
+	for i, c := range cols {
+		out[i] = r[c]
+	}
+	return out
+}
+
+// Column describes one column of a table schema.
+type Column struct {
+	Name string
+	Type ColType
+}
+
+// Schema describes the columns of a table together with the key options the
+// unified table storage supports (§4): a sort key, a shard key, secondary
+// keys and unique keys.
+type Schema struct {
+	Columns []Column
+	// SortKey is the ordinal of the column segments are sorted by, or -1.
+	SortKey int
+	// ShardKey holds the ordinals of the hash-partitioning columns. Empty
+	// means shard on the first column.
+	ShardKey []int
+	// SecondaryKeys lists secondary indexes; each entry is the ordinals of
+	// the indexed columns (multi-column indexes allowed, §4.1.1).
+	SecondaryKeys [][]int
+	// UniqueKey holds the ordinals of the enforced unique key, or nil.
+	// A unique key is automatically also a secondary index (§4.1.2).
+	UniqueKey []int
+}
+
+// NewSchema builds a schema with no keys configured.
+func NewSchema(cols ...Column) *Schema {
+	return &Schema{Columns: cols, SortKey: -1}
+}
+
+// ColIndex returns the ordinal of the named column, or -1.
+func (s *Schema) ColIndex(name string) int {
+	for i, c := range s.Columns {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Validate checks that key ordinals are in range and types are consistent.
+func (s *Schema) Validate() error {
+	n := len(s.Columns)
+	if n == 0 {
+		return fmt.Errorf("schema has no columns")
+	}
+	seen := map[string]bool{}
+	for _, c := range s.Columns {
+		if c.Name == "" {
+			return fmt.Errorf("schema has an unnamed column")
+		}
+		if seen[c.Name] {
+			return fmt.Errorf("duplicate column name %q", c.Name)
+		}
+		seen[c.Name] = true
+	}
+	check := func(what string, idx int) error {
+		if idx < 0 || idx >= n {
+			return fmt.Errorf("%s ordinal %d out of range [0,%d)", what, idx, n)
+		}
+		return nil
+	}
+	if s.SortKey != -1 {
+		if err := check("sort key", s.SortKey); err != nil {
+			return err
+		}
+	}
+	for _, i := range s.ShardKey {
+		if err := check("shard key", i); err != nil {
+			return err
+		}
+	}
+	for _, key := range s.SecondaryKeys {
+		if len(key) == 0 {
+			return fmt.Errorf("empty secondary key")
+		}
+		for _, i := range key {
+			if err := check("secondary key", i); err != nil {
+				return err
+			}
+		}
+	}
+	for _, i := range s.UniqueKey {
+		if err := check("unique key", i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CheckRow verifies that the row matches the schema arity and types.
+func (s *Schema) CheckRow(r Row) error {
+	if len(r) != len(s.Columns) {
+		return fmt.Errorf("row has %d values, schema has %d columns", len(r), len(s.Columns))
+	}
+	for i, v := range r {
+		if v.Type != s.Columns[i].Type {
+			return fmt.Errorf("column %q: row value type %v, want %v", s.Columns[i].Name, v.Type, s.Columns[i].Type)
+		}
+	}
+	return nil
+}
+
+// ShardColumns returns the effective shard key ordinals (defaulting to the
+// first column when unset).
+func (s *Schema) ShardColumns() []int {
+	if len(s.ShardKey) > 0 {
+		return s.ShardKey
+	}
+	return []int{0}
+}
+
+// ShardHash hashes the row's shard-key columns for partition routing.
+func (s *Schema) ShardHash(r Row) uint64 {
+	cols := s.ShardColumns()
+	vs := make([]Value, len(cols))
+	for i, c := range cols {
+		vs[i] = r[c]
+	}
+	return HashMany(vs)
+}
+
+// CompareRows orders two rows by the given key ordinals.
+func CompareRows(a, b Row, key []int) int {
+	for _, k := range key {
+		if c := Compare(a[k], b[k]); c != 0 {
+			return c
+		}
+	}
+	return 0
+}

@@ -1,0 +1,224 @@
+package vector
+
+import (
+	"testing"
+	"testing/quick"
+
+	"s2db/internal/types"
+)
+
+func TestCmpOps(t *testing.T) {
+	cases := []struct {
+		a    int64
+		op   CmpOp
+		b    int64
+		want bool
+	}{
+		{1, Eq, 1, true}, {1, Eq, 2, false},
+		{1, Ne, 2, true}, {1, Ne, 1, false},
+		{1, Lt, 2, true}, {2, Lt, 2, false},
+		{2, Le, 2, true}, {3, Le, 2, false},
+		{3, Gt, 2, true}, {2, Gt, 2, false},
+		{2, Ge, 2, true}, {1, Ge, 2, false},
+	}
+	for _, c := range cases {
+		if got := CmpInt(c.a, c.op, c.b); got != c.want {
+			t.Errorf("CmpInt(%d %v %d) = %v", c.a, c.op, c.b, got)
+		}
+		if got := CmpFloat(float64(c.a), c.op, float64(c.b)); got != c.want {
+			t.Errorf("CmpFloat(%d %v %d) = %v", c.a, c.op, c.b, got)
+		}
+	}
+	if !CmpString("a", Lt, "b") || CmpString("b", Eq, "a") {
+		t.Error("CmpString basic cases wrong")
+	}
+}
+
+func TestCmpValueNulls(t *testing.T) {
+	n := types.Null(types.Int64)
+	v := types.NewInt(5)
+	for _, op := range []CmpOp{Eq, Ne, Lt, Le, Gt, Ge} {
+		if CmpValue(n, op, v) || CmpValue(v, op, n) || CmpValue(n, op, n) {
+			t.Errorf("comparison with NULL under %v must be false", op)
+		}
+	}
+}
+
+func TestFilterIntConstAllOps(t *testing.T) {
+	vals := []int64{5, 1, 3, 9, 3}
+	sel := SeqSel(len(vals))
+	for _, op := range []CmpOp{Eq, Ne, Lt, Le, Gt, Ge} {
+		got := FilterIntConst(vals, op, 3, sel, nil)
+		var want []int32
+		for i, v := range vals {
+			if CmpInt(v, op, 3) {
+				want = append(want, int32(i))
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("op %v: got %v want %v", op, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("op %v: got %v want %v", op, got, want)
+			}
+		}
+	}
+}
+
+func TestFilterChaining(t *testing.T) {
+	a := []int64{1, 2, 3, 4, 5, 6}
+	b := []int64{6, 5, 4, 3, 2, 1}
+	sel := FilterIntConst(a, Gt, 2, SeqSel(6), nil) // rows 2..5
+	sel = FilterIntConst(b, Gt, 2, sel, nil)        // rows where both > 2: 2, 3
+	if len(sel) != 2 || sel[0] != 2 || sel[1] != 3 {
+		t.Fatalf("chained filter got %v, want [2 3]", sel)
+	}
+}
+
+func TestVectorAppendValue(t *testing.T) {
+	v := NewVector(types.String, 4)
+	v.Append(types.NewString("x"))
+	v.Append(types.Null(types.String))
+	v.Append(types.NewString("y"))
+	if v.Len() != 3 {
+		t.Fatalf("Len = %d", v.Len())
+	}
+	if v.Value(0).S != "x" || !v.Value(1).IsNull || v.Value(2).S != "y" {
+		t.Fatalf("values wrong: %v %v %v", v.Value(0), v.Value(1), v.Value(2))
+	}
+}
+
+func TestAggKernels(t *testing.T) {
+	vals := []int64{10, -2, 7, 7}
+	sel := SeqSel(4)
+	if s := SumIntSel(vals, sel); s != 22 {
+		t.Fatalf("SumIntSel = %d", s)
+	}
+	minV, maxV, ok := MinMaxInt(vals, sel)
+	if !ok || minV != -2 || maxV != 10 {
+		t.Fatalf("MinMaxInt = %d %d %v", minV, maxV, ok)
+	}
+	if _, _, ok := MinMaxInt(vals, nil); ok {
+		t.Fatal("MinMaxInt of empty selection should report !ok")
+	}
+	fs := SumFloatSel([]float64{1.5, 2.5}, SeqSel(2))
+	if fs != 4.0 {
+		t.Fatalf("SumFloatSel = %g", fs)
+	}
+}
+
+// Property: filter kernels agree with scalar evaluation for every operator.
+func TestQuickFilterMatchesScalar(t *testing.T) {
+	f := func(vals []int64, rhs int64, opRaw uint8) bool {
+		op := CmpOp(opRaw % 6)
+		got := FilterIntConst(vals, op, rhs, SeqSel(len(vals)), nil)
+		j := 0
+		for i, v := range vals {
+			if CmpInt(v, op, rhs) {
+				if j >= len(got) || got[j] != int32(i) {
+					return false
+				}
+				j++
+			}
+		}
+		return j == len(got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFilterFloatConst(t *testing.T) {
+	vals := []float64{1.5, -2.5, 3.25, 0}
+	sel := SeqSel(len(vals))
+	for _, op := range []CmpOp{Eq, Ne, Lt, Le, Gt, Ge} {
+		got := FilterFloatConst(vals, op, 1.5, sel, nil)
+		var want []int32
+		for i, v := range vals {
+			if CmpFloat(v, op, 1.5) {
+				want = append(want, int32(i))
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("op %v: got %v want %v", op, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("op %v: got %v want %v", op, got, want)
+			}
+		}
+	}
+}
+
+func TestFilterStringConst(t *testing.T) {
+	vals := []string{"b", "a", "c", "b"}
+	sel := SeqSel(len(vals))
+	for _, op := range []CmpOp{Eq, Ne, Lt, Le, Gt, Ge} {
+		got := FilterStringConst(vals, op, "b", sel, nil)
+		var want []int32
+		for i, v := range vals {
+			if CmpString(v, op, "b") {
+				want = append(want, int32(i))
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("op %v: got %v want %v", op, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("op %v: got %v want %v", op, got, want)
+			}
+		}
+	}
+}
+
+func TestCmpOpString(t *testing.T) {
+	names := map[CmpOp]string{Eq: "=", Ne: "!=", Lt: "<", Le: "<=", Gt: ">", Ge: ">="}
+	for op, want := range names {
+		if op.String() != want {
+			t.Fatalf("%v.String() = %q", op, op.String())
+		}
+	}
+	if CmpOp(99).String() == "" {
+		t.Fatal("unknown op should still render")
+	}
+}
+
+func TestVectorAllTypes(t *testing.T) {
+	for _, typ := range []types.ColType{types.Int64, types.Float64, types.String} {
+		v := NewVector(typ, 2)
+		switch typ {
+		case types.Int64:
+			v.Append(types.NewInt(7))
+		case types.Float64:
+			v.Append(types.NewFloat(1.25))
+		default:
+			v.Append(types.NewString("s"))
+		}
+		if v.Len() != 1 {
+			t.Fatalf("type %v: Len = %d", typ, v.Len())
+		}
+		if got := v.Value(0); got.Type != typ || got.IsNull {
+			t.Fatalf("type %v: Value = %v", typ, got)
+		}
+	}
+}
+
+func TestCmpValueTyped(t *testing.T) {
+	if !CmpValue(types.NewFloat(1), Lt, types.NewFloat(2)) {
+		t.Fatal("float CmpValue broken")
+	}
+	if !CmpValue(types.NewString("a"), Ne, types.NewString("b")) {
+		t.Fatal("string CmpValue broken")
+	}
+	if !CmpValue(types.NewInt(3), Ge, types.NewInt(3)) {
+		t.Fatal("int CmpValue broken")
+	}
+	if CmpValue(types.NewInt(3), Gt, types.NewInt(3)) {
+		t.Fatal("Gt should be strict")
+	}
+	if !CmpValue(types.NewInt(2), Le, types.NewInt(3)) {
+		t.Fatal("Le broken")
+	}
+}

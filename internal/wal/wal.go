@@ -1,0 +1,305 @@
+// Package wal implements the per-partition write-ahead log (§2.1.1, §3):
+// an append-only record stream with replication watermarks, chunked upload
+// of the durable prefix to blob storage, and snapshots that bound recovery
+// time. Record payloads are opaque to the log; the table layer defines
+// their encoding.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Kind tags a log record for the replaying layer.
+type Kind uint8
+
+// Record kinds used by the unified table storage. The WAL itself only
+// requires them to be stable across serialize/replay.
+const (
+	// KindInsert is a row insert into the in-memory rowstore.
+	KindInsert Kind = iota + 1
+	// KindDelete is a row delete (tombstone) from the in-memory rowstore.
+	KindDelete
+	// KindFlush converts rowstore rows into a columnstore segment.
+	KindFlush
+	// KindMerge replaces segments with a merged segment.
+	KindMerge
+	// KindMove is the autonomous move transaction of §4.2: rows copied
+	// from a segment into the rowstore with their deleted bits set.
+	KindMove
+	// KindMetaDelete updates only a segment's deleted bit vector.
+	KindMetaDelete
+	// KindCommit marks a transaction commit with its timestamp.
+	KindCommit
+)
+
+// Record is one log entry. LSN is assigned by Append and is dense (the
+// record index), which the chunking and replication layers rely on. Wall
+// is the append wall-clock time in Unix nanoseconds: point-in-time restore
+// maps a wall-clock target to a per-partition log position with it (§3.2),
+// since commit timestamps are partition-local and not comparable across
+// partitions.
+type Record struct {
+	LSN      uint64
+	Kind     Kind
+	CommitTS uint64
+	Wall     int64
+	Data     []byte
+}
+
+// Log is an append-only in-memory record log with a durable watermark.
+// The watermark models §3's rule that only the fully durable and
+// replicated prefix may be uploaded to blob storage.
+type Log struct {
+	mu      sync.Mutex
+	recs    []Record
+	base    uint64 // LSN of recs[0]; records below base were truncated
+	durable uint64 // first non-durable LSN (all records < durable are durable)
+	subs    map[int]*Subscription
+	nextSub int
+}
+
+// NewLog returns an empty log.
+func NewLog() *Log {
+	return &Log{subs: make(map[int]*Subscription)}
+}
+
+// Append adds a record and returns its LSN. The record is immediately
+// streamed to subscribers (replication replicates log pages early, before
+// commit, §3).
+func (l *Log) Append(kind Kind, commitTS uint64, data []byte) uint64 {
+	l.mu.Lock()
+	lsn := l.base + uint64(len(l.recs))
+	rec := Record{LSN: lsn, Kind: kind, CommitTS: commitTS, Wall: time.Now().UnixNano(), Data: data}
+	l.recs = append(l.recs, rec)
+	for _, s := range l.subs {
+		s.push(rec)
+	}
+	l.mu.Unlock()
+	return lsn
+}
+
+// AppendRecord appends a fully-formed record (replication replay),
+// preserving its wall time. The record's LSN must equal the log head.
+func (l *Log) AppendRecord(rec Record) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if head := l.base + uint64(len(l.recs)); rec.LSN != head {
+		return fmt.Errorf("wal: AppendRecord LSN %d != head %d", rec.LSN, head)
+	}
+	l.recs = append(l.recs, rec)
+	for _, s := range l.subs {
+		s.push(rec)
+	}
+	return nil
+}
+
+// Head returns the next LSN to be assigned.
+func (l *Log) Head() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.base + uint64(len(l.recs))
+}
+
+// Base returns the first retained LSN.
+func (l *Log) Base() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.base
+}
+
+// MarkDurable advances the durable watermark to lsn (exclusive).
+func (l *Log) MarkDurable(lsn uint64) {
+	l.mu.Lock()
+	if lsn > l.durable {
+		l.durable = lsn
+	}
+	l.mu.Unlock()
+}
+
+// Durable returns the durable watermark (exclusive LSN).
+func (l *Log) Durable() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.durable
+}
+
+// Records returns a copy of records with LSN in [from, to).
+func (l *Log) Records(from, to uint64) ([]Record, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if from < l.base {
+		return nil, fmt.Errorf("wal: records from %d already truncated (base %d)", from, l.base)
+	}
+	end := l.base + uint64(len(l.recs))
+	if to > end {
+		to = end
+	}
+	if from >= to {
+		return nil, nil
+	}
+	out := make([]Record, to-from)
+	copy(out, l.recs[from-l.base:to-l.base])
+	return out, nil
+}
+
+// Subscription is an unbounded ordered stream of log records. Appends never
+// block on slow subscribers; subscribers pull with Next.
+type Subscription struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending []Record
+	closed  bool
+
+	log *Log
+	id  int
+}
+
+func (s *Subscription) push(rec Record) {
+	s.mu.Lock()
+	s.pending = append(s.pending, rec)
+	s.cond.Signal()
+	s.mu.Unlock()
+}
+
+// Next blocks until a record is available or the subscription is canceled;
+// ok is false after cancellation once the backlog drains.
+func (s *Subscription) Next() (rec Record, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.pending) == 0 && !s.closed {
+		s.cond.Wait()
+	}
+	if len(s.pending) == 0 {
+		return Record{}, false
+	}
+	rec = s.pending[0]
+	s.pending = s.pending[1:]
+	return rec, true
+}
+
+// TryNext returns a pending record without blocking.
+func (s *Subscription) TryNext() (rec Record, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.pending) == 0 {
+		return Record{}, false
+	}
+	rec = s.pending[0]
+	s.pending = s.pending[1:]
+	return rec, true
+}
+
+// Cancel detaches the subscription from the log and wakes blocked readers.
+func (s *Subscription) Cancel() {
+	s.log.mu.Lock()
+	delete(s.log.subs, s.id)
+	s.log.mu.Unlock()
+	s.mu.Lock()
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// Lag returns the number of records queued but not yet consumed, which the
+// cluster reports as replication lag (Table 3 discussion).
+func (s *Subscription) Lag() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.pending)
+}
+
+// Subscribe streams every record with LSN >= from: the backlog first, then
+// future appends, in LSN order.
+func (l *Log) Subscribe(from uint64) (*Subscription, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if from < l.base {
+		return nil, fmt.Errorf("wal: subscription from %d already truncated (base %d)", from, l.base)
+	}
+	s := &Subscription{log: l, id: l.nextSub}
+	s.cond = sync.NewCond(&s.mu)
+	s.pending = append(s.pending, l.recs[from-l.base:]...)
+	l.subs[l.nextSub] = s
+	l.nextSub++
+	return s, nil
+}
+
+// TruncateBefore drops records below lsn (after they are snapshotted or
+// uploaded) and advances the log base to lsn even when that skips past the
+// end of the buffer — a replica bootstrapped from a snapshot starts its log
+// at the snapshot position without holding any records.
+func (l *Log) TruncateBefore(lsn uint64) {
+	l.mu.Lock()
+	if lsn > l.base {
+		n := lsn - l.base
+		if n >= uint64(len(l.recs)) {
+			l.recs = nil
+		} else {
+			l.recs = append([]Record(nil), l.recs[n:]...)
+		}
+		l.base = lsn
+	}
+	l.mu.Unlock()
+}
+
+// EncodeRecords serializes records into a chunk for blob upload.
+func EncodeRecords(recs []Record) []byte {
+	var buf []byte
+	buf = binary.AppendUvarint(buf, uint64(len(recs)))
+	for _, r := range recs {
+		buf = binary.AppendUvarint(buf, r.LSN)
+		buf = append(buf, byte(r.Kind))
+		buf = binary.AppendUvarint(buf, r.CommitTS)
+		buf = binary.AppendVarint(buf, r.Wall)
+		buf = binary.AppendUvarint(buf, uint64(len(r.Data)))
+		buf = append(buf, r.Data...)
+	}
+	return buf
+}
+
+// DecodeRecords deserializes a chunk written by EncodeRecords.
+func DecodeRecords(buf []byte) ([]Record, error) {
+	n, k := binary.Uvarint(buf)
+	if k <= 0 {
+		return nil, fmt.Errorf("wal: bad chunk header")
+	}
+	p := k
+	recs := make([]Record, 0, n)
+	for i := uint64(0); i < n; i++ {
+		lsn, k := binary.Uvarint(buf[p:])
+		if k <= 0 {
+			return nil, fmt.Errorf("wal: bad record lsn")
+		}
+		p += k
+		if p >= len(buf) {
+			return nil, fmt.Errorf("wal: truncated record kind")
+		}
+		kind := Kind(buf[p])
+		p++
+		ts, k := binary.Uvarint(buf[p:])
+		if k <= 0 {
+			return nil, fmt.Errorf("wal: bad record ts")
+		}
+		p += k
+		wall, k := binary.Varint(buf[p:])
+		if k <= 0 {
+			return nil, fmt.Errorf("wal: bad record wall time")
+		}
+		p += k
+		dl, k := binary.Uvarint(buf[p:])
+		if k <= 0 {
+			return nil, fmt.Errorf("wal: bad record data length")
+		}
+		p += k
+		if p+int(dl) > len(buf) {
+			return nil, fmt.Errorf("wal: truncated record data")
+		}
+		data := append([]byte(nil), buf[p:p+int(dl)]...)
+		p += int(dl)
+		recs = append(recs, Record{LSN: lsn, Kind: kind, CommitTS: ts, Wall: wall, Data: data})
+	}
+	return recs, nil
+}

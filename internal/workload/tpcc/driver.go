@@ -1,0 +1,123 @@
+package tpcc
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// MixCounts reports per-profile transaction counts.
+type MixCounts struct {
+	NewOrder, Payment, OrderStatus, Delivery, StockLevel int64
+	Rollbacks, Errors                                    int64
+}
+
+// Result summarizes a driver run.
+type Result struct {
+	Mix      MixCounts
+	Duration time.Duration
+	// TpmC is NewOrder transactions per minute (the TPC-C metric).
+	TpmC float64
+	// TotalTxns counts all completed transactions.
+	TotalTxns int64
+}
+
+// DriverConfig tunes a workload run.
+type DriverConfig struct {
+	Warehouses int
+	Workers    int
+	Duration   time.Duration
+	// MaxNewOrders stops the run after this many NewOrders (0 = time-based
+	// only), letting benchmarks run a fixed amount of work.
+	MaxNewOrders int64
+	// ThinkTime adds the spec's keying/think pauses scaled by this factor
+	// (0 disables; 1.0 would approximate the 12.86 tpmC/warehouse ceiling).
+	ThinkTime float64
+	Seed      int64
+}
+
+// Run drives the standard TPC-C mix (45/43/4/4/4) against the backend with
+// the configured worker count and returns throughput results.
+func Run(b Backend, cfg DriverConfig) (Result, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.Duration <= 0 && cfg.MaxNewOrders <= 0 {
+		cfg.Duration = time.Second
+	}
+	var mix MixCounts
+	var stopFlag atomic.Bool
+	var firstErr atomic.Value
+	start := time.Now()
+	if cfg.Duration > 0 {
+		timer := time.AfterFunc(cfg.Duration, func() { stopFlag.Store(true) })
+		defer timer.Stop()
+	}
+	var wg sync.WaitGroup
+	for wkr := 0; wkr < cfg.Workers; wkr++ {
+		wg.Add(1)
+		go func(wkr int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(wkr)*7919))
+			home := wkr%cfg.Warehouses + 1
+			for !stopFlag.Load() {
+				if cfg.MaxNewOrders > 0 && atomic.LoadInt64(&mix.NewOrder) >= cfg.MaxNewOrders {
+					stopFlag.Store(true)
+					return
+				}
+				roll := rng.Intn(100)
+				var err error
+				var counter *int64
+				var think time.Duration
+				switch {
+				case roll < 45:
+					counter = &mix.NewOrder
+					think = time.Duration(18*cfg.ThinkTime*1000) * time.Millisecond / 1000
+					err = NewOrder(b, rng, home, cfg.Warehouses)
+				case roll < 88:
+					counter = &mix.Payment
+					think = time.Duration(15*cfg.ThinkTime*1000) * time.Millisecond / 1000
+					err = Payment(b, rng, home, cfg.Warehouses)
+				case roll < 92:
+					counter = &mix.OrderStatus
+					think = time.Duration(12*cfg.ThinkTime*1000) * time.Millisecond / 1000
+					err = OrderStatus(b, rng, home)
+				case roll < 96:
+					counter = &mix.Delivery
+					think = time.Duration(7*cfg.ThinkTime*1000) * time.Millisecond / 1000
+					err = Delivery(b, rng, home)
+				default:
+					counter = &mix.StockLevel
+					think = time.Duration(7*cfg.ThinkTime*1000) * time.Millisecond / 1000
+					err = StockLevel(b, rng, home)
+				}
+				switch {
+				case err == nil:
+					atomic.AddInt64(counter, 1)
+				case errors.Is(err, errRollback):
+					atomic.AddInt64(&mix.Rollbacks, 1)
+				default:
+					atomic.AddInt64(&mix.Errors, 1)
+					firstErr.CompareAndSwap(nil, fmt.Errorf("worker %d: %w", wkr, err))
+					stopFlag.Store(true)
+					return
+				}
+				if think > 0 {
+					time.Sleep(think)
+				}
+			}
+		}(wkr)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	res := Result{Mix: mix, Duration: elapsed}
+	res.TotalTxns = mix.NewOrder + mix.Payment + mix.OrderStatus + mix.Delivery + mix.StockLevel
+	res.TpmC = float64(mix.NewOrder) / elapsed.Minutes()
+	if v := firstErr.Load(); v != nil {
+		return res, v.(error)
+	}
+	return res, nil
+}

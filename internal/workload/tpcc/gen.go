@@ -1,0 +1,175 @@
+package tpcc
+
+import (
+	"fmt"
+	"math/rand"
+
+	"s2db/internal/types"
+)
+
+// lastNames are the TPC-C syllables for C_LAST generation.
+var lastSyllables = []string{"BAR", "OUGHT", "ABLE", "PRI", "PRES", "ESE", "ANTI", "CALLY", "ATION", "EING"}
+
+// LastName builds a TPC-C style customer last name from a number 0-999.
+func LastName(n int) string {
+	return lastSyllables[n/100%10] + lastSyllables[n/10%10] + lastSyllables[n%10]
+}
+
+// nuRand is the TPC-C non-uniform random function NURand(A, x, y).
+func nuRand(rng *rand.Rand, a, x, y int) int {
+	c := 42 % (a + 1)
+	return (((rng.Intn(a+1) | (x + rng.Intn(y-x+1))) + c) % (y - x + 1)) + x
+}
+
+// Load populates the backend with the initial database for the given
+// number of warehouses, deterministically from seed.
+func Load(b Backend, warehouses int, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	if err := b.CreateTables(); err != nil {
+		return err
+	}
+	// Items.
+	items := make([]types.Row, Items)
+	for i := range items {
+		items[i] = types.Row{
+			types.NewInt(int64(i + 1)),
+			types.NewString(fmt.Sprintf("item-%05d", i+1)),
+			types.NewFloat(1 + rng.Float64()*99),
+			types.NewString(randData(rng, 26)),
+		}
+	}
+	if err := b.Load(TItem, items); err != nil {
+		return err
+	}
+	for w := 1; w <= warehouses; w++ {
+		if err := b.Load(TWarehouse, []types.Row{{
+			types.NewInt(int64(w)),
+			types.NewString(fmt.Sprintf("warehouse-%d", w)),
+			types.NewFloat(rng.Float64() * 0.2),
+			types.NewFloat(300000),
+		}}); err != nil {
+			return err
+		}
+		// Stock.
+		stock := make([]types.Row, Items)
+		for i := range stock {
+			stock[i] = types.Row{
+				types.NewInt(int64(w)),
+				types.NewInt(int64(i + 1)),
+				types.NewInt(int64(10 + rng.Intn(91))),
+				types.NewInt(0),
+				types.NewInt(0),
+				types.NewInt(0),
+				types.NewString(randData(rng, 30)),
+			}
+		}
+		if err := b.Load(TStock, stock); err != nil {
+			return err
+		}
+		for d := 1; d <= DistrictsPerWarehouse; d++ {
+			if err := b.Load(TDistrict, []types.Row{{
+				types.NewInt(int64(w)), types.NewInt(int64(d)),
+				types.NewString(fmt.Sprintf("district-%d-%d", w, d)),
+				types.NewFloat(rng.Float64() * 0.2),
+				types.NewFloat(30000),
+				types.NewInt(int64(CustomersPerDistrict + 1)),
+			}}); err != nil {
+				return err
+			}
+			customers := make([]types.Row, CustomersPerDistrict)
+			orders := make([]types.Row, CustomersPerDistrict)
+			var orderLines []types.Row
+			var newOrders []types.Row
+			perm := rng.Perm(CustomersPerDistrict)
+			for c := 1; c <= CustomersPerDistrict; c++ {
+				customers[c-1] = types.Row{
+					types.NewInt(int64(w)), types.NewInt(int64(d)), types.NewInt(int64(c)),
+					types.NewString(LastName(lastNameFor(c, rng))),
+					types.NewString(fmt.Sprintf("first-%d", c)),
+					types.NewFloat(-10),
+					types.NewFloat(10),
+					types.NewInt(1),
+					types.NewInt(0),
+					types.NewString(randData(rng, 50)),
+				}
+				// One initial order per customer, customer ids permuted.
+				oid := c
+				cid := perm[c-1] + 1
+				olCnt := 5 + rng.Intn(11)
+				carrier := int64(rng.Intn(10) + 1)
+				undelivered := oid > CustomersPerDistrict-30 // last 30 orders are new
+				if undelivered {
+					carrier = -1
+					newOrders = append(newOrders, types.Row{
+						types.NewInt(int64(w)), types.NewInt(int64(d)), types.NewInt(int64(oid)),
+					})
+				}
+				orders[oid-1] = types.Row{
+					types.NewInt(int64(w)), types.NewInt(int64(d)), types.NewInt(int64(oid)),
+					types.NewInt(int64(cid)),
+					types.NewInt(int64(oid)), // entry date surrogate
+					types.NewInt(carrier),
+					types.NewInt(int64(olCnt)),
+				}
+				for ol := 1; ol <= olCnt; ol++ {
+					deliveryD := int64(oid)
+					amount := 0.0
+					if undelivered {
+						deliveryD = -1
+						amount = 0.01 + rng.Float64()*9999.98
+					}
+					orderLines = append(orderLines, types.Row{
+						types.NewInt(int64(w)), types.NewInt(int64(d)), types.NewInt(int64(oid)),
+						types.NewInt(int64(ol)),
+						types.NewInt(int64(rng.Intn(Items) + 1)),
+						types.NewInt(int64(w)),
+						types.NewInt(5),
+						types.NewFloat(amount),
+						types.NewInt(deliveryD),
+					})
+				}
+			}
+			if err := b.Load(TCustomer, customers); err != nil {
+				return err
+			}
+			if err := b.Load(TOrders, orders); err != nil {
+				return err
+			}
+			if err := b.Load(TOrderLine, orderLines); err != nil {
+				return err
+			}
+			if err := b.Load(TNewOrder, newOrders); err != nil {
+				return err
+			}
+			// History: one row per customer.
+			history := make([]types.Row, CustomersPerDistrict)
+			for c := 1; c <= CustomersPerDistrict; c++ {
+				history[c-1] = types.Row{
+					types.NewInt(int64(w)), types.NewInt(int64(d)), types.NewInt(int64(c)),
+					types.NewFloat(10),
+					types.NewString("initial"),
+				}
+			}
+			if err := b.Load(THistory, history); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// lastNameFor follows the spec: the first 1000 customers get NURand names.
+func lastNameFor(c int, rng *rand.Rand) int {
+	if c <= 1000 {
+		return nuRand(rng, 255, 0, 999)
+	}
+	return rng.Intn(1000)
+}
+
+func randData(rng *rand.Rand, n int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte('a' + rng.Intn(26))
+	}
+	return string(b)
+}

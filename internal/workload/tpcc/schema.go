@@ -1,0 +1,190 @@
+// Package tpcc implements a TPC-C-derived OLTP workload: the nine tables,
+// the five transaction profiles with the standard mix, a deterministic
+// loader, and a multi-worker driver reporting tpmC. It drives the engines
+// through a small Backend interface so the same workload runs against S2DB
+// unified storage and the rowstore baseline (Table 1 and Figure 5 of the
+// paper; the warehouse baseline cannot implement the interface, matching
+// "CDW1 and CDW2 do not support running TPC-C").
+package tpcc
+
+import (
+	"s2db/internal/types"
+)
+
+// Table names.
+const (
+	TWarehouse = "warehouse"
+	TDistrict  = "district"
+	TCustomer  = "customer"
+	THistory   = "history"
+	TNewOrder  = "new_order"
+	TOrders    = "orders"
+	TOrderLine = "order_line"
+	TItem      = "item"
+	TStock     = "stock"
+)
+
+// Column ordinals per table (suffix comments give the TPC-C field).
+const (
+	WID   = 0 // W_ID
+	WName = 1 // W_NAME
+	WTax  = 2 // W_TAX
+	WYtd  = 3 // W_YTD
+
+	DWID     = 0 // D_W_ID
+	DID      = 1 // D_ID
+	DName    = 2 // D_NAME
+	DTax     = 3 // D_TAX
+	DYtd     = 4 // D_YTD
+	DNextOID = 5 // D_NEXT_O_ID
+
+	CWID        = 0 // C_W_ID
+	CDID        = 1 // C_D_ID
+	CID         = 2 // C_ID
+	CLast       = 3 // C_LAST
+	CFirst      = 4 // C_FIRST
+	CBalance    = 5 // C_BALANCE
+	CYtdPayment = 6 // C_YTD_PAYMENT
+	CPaymentCnt = 7 // C_PAYMENT_CNT
+	CDeliverCnt = 8 // C_DELIVERY_CNT
+	CData       = 9 // C_DATA
+
+	HWID    = 0 // H_W_ID
+	HDID    = 1 // H_D_ID
+	HCID    = 2 // H_C_ID
+	HAmount = 3 // H_AMOUNT
+	HData   = 4 // H_DATA
+
+	NOWID = 0 // NO_W_ID
+	NODID = 1 // NO_D_ID
+	NOOID = 2 // NO_O_ID
+
+	OWID       = 0 // O_W_ID
+	ODID       = 1 // O_D_ID
+	OOID       = 2 // O_ID
+	OCID       = 3 // O_C_ID
+	OEntryD    = 4 // O_ENTRY_D
+	OCarrierID = 5 // O_CARRIER_ID (-1 = undelivered)
+	OOlCnt     = 6 // O_OL_CNT
+
+	OLWID       = 0 // OL_W_ID
+	OLDID       = 1 // OL_D_ID
+	OLOID       = 2 // OL_O_ID
+	OLNumber    = 3 // OL_NUMBER
+	OLIID       = 4 // OL_I_ID
+	OLSupplyWID = 5 // OL_SUPPLY_W_ID
+	OLQuantity  = 6 // OL_QUANTITY
+	OLAmount    = 7 // OL_AMOUNT
+	OLDeliveryD = 8 // OL_DELIVERY_D (-1 = undelivered)
+
+	IID    = 0 // I_ID
+	IName  = 1 // I_NAME
+	IPrice = 2 // I_PRICE
+	IData  = 3 // I_DATA
+
+	SWID       = 0 // S_W_ID
+	SIID       = 1 // S_I_ID
+	SQuantity  = 2 // S_QUANTITY
+	SYtd       = 3 // S_YTD
+	SOrderCnt  = 4 // S_ORDER_CNT
+	SRemoteCnt = 5 // S_REMOTE_CNT
+	SData      = 6 // S_DATA
+)
+
+// Items is the TPC-C item count (scaled down from 100k for laptop runs).
+const Items = 1000
+
+// DistrictsPerWarehouse and CustomersPerDistrict are scaled-down cardinals
+// (spec: 10 and 3000).
+const (
+	DistrictsPerWarehouse = 10
+	CustomersPerDistrict  = 120
+)
+
+// Schemas returns the nine table schemas keyed by name.
+func Schemas() map[string]*types.Schema {
+	i64 := func(n string) types.Column { return types.Column{Name: n, Type: types.Int64} }
+	f64 := func(n string) types.Column { return types.Column{Name: n, Type: types.Float64} }
+	str := func(n string) types.Column { return types.Column{Name: n, Type: types.String} }
+
+	warehouse := types.NewSchema(i64("w_id"), str("w_name"), f64("w_tax"), f64("w_ytd"))
+	warehouse.UniqueKey = []int{WID}
+	warehouse.ShardKey = []int{WID}
+
+	district := types.NewSchema(i64("d_w_id"), i64("d_id"), str("d_name"), f64("d_tax"), f64("d_ytd"), i64("d_next_o_id"))
+	district.UniqueKey = []int{DWID, DID}
+	district.ShardKey = []int{DWID}
+
+	customer := types.NewSchema(
+		i64("c_w_id"), i64("c_d_id"), i64("c_id"), str("c_last"), str("c_first"),
+		f64("c_balance"), f64("c_ytd_payment"), i64("c_payment_cnt"), i64("c_delivery_cnt"), str("c_data"))
+	customer.UniqueKey = []int{CWID, CDID, CID}
+	customer.ShardKey = []int{CWID}
+	customer.SecondaryKeys = [][]int{{CWID, CDID, CLast}}
+
+	history := types.NewSchema(i64("h_w_id"), i64("h_d_id"), i64("h_c_id"), f64("h_amount"), str("h_data"))
+	history.ShardKey = []int{HWID}
+
+	newOrder := types.NewSchema(i64("no_w_id"), i64("no_d_id"), i64("no_o_id"))
+	newOrder.UniqueKey = []int{NOWID, NODID, NOOID}
+	newOrder.ShardKey = []int{NOWID}
+
+	orders := types.NewSchema(
+		i64("o_w_id"), i64("o_d_id"), i64("o_id"), i64("o_c_id"),
+		i64("o_entry_d"), i64("o_carrier_id"), i64("o_ol_cnt"))
+	orders.UniqueKey = []int{OWID, ODID, OOID}
+	orders.ShardKey = []int{OWID}
+	orders.SecondaryKeys = [][]int{{OWID, ODID, OCID}}
+
+	orderLine := types.NewSchema(
+		i64("ol_w_id"), i64("ol_d_id"), i64("ol_o_id"), i64("ol_number"),
+		i64("ol_i_id"), i64("ol_supply_w_id"), i64("ol_quantity"), f64("ol_amount"), i64("ol_delivery_d"))
+	orderLine.UniqueKey = []int{OLWID, OLDID, OLOID, OLNumber}
+	orderLine.ShardKey = []int{OLWID}
+	orderLine.SecondaryKeys = [][]int{{OLWID, OLDID, OLOID}}
+
+	item := types.NewSchema(i64("i_id"), str("i_name"), f64("i_price"), str("i_data"))
+	item.UniqueKey = []int{IID}
+	item.ShardKey = []int{IID}
+
+	stock := types.NewSchema(
+		i64("s_w_id"), i64("s_i_id"), i64("s_quantity"), i64("s_ytd"),
+		i64("s_order_cnt"), i64("s_remote_cnt"), str("s_data"))
+	stock.UniqueKey = []int{SWID, SIID}
+	stock.ShardKey = []int{SWID}
+
+	return map[string]*types.Schema{
+		TWarehouse: warehouse,
+		TDistrict:  district,
+		TCustomer:  customer,
+		THistory:   history,
+		TNewOrder:  newOrder,
+		TOrders:    orders,
+		TOrderLine: orderLine,
+		TItem:      item,
+		TStock:     stock,
+	}
+}
+
+// Backend is the engine contract the workload drives. S2DB and the
+// rowstore baseline both implement it; the warehouse baseline cannot
+// (no unique keys, no keyed updates).
+type Backend interface {
+	Name() string
+	// CreateTables materializes the nine schemas.
+	CreateTables() error
+	// Load bulk-ingests initial rows.
+	Load(table string, rows []types.Row) error
+	// Insert adds one row transactionally (duplicate keys are errors).
+	Insert(table string, row types.Row) error
+	// Get reads a row by its unique key values.
+	Get(table string, key []types.Value) (types.Row, bool, error)
+	// Update rewrites the row with the given unique key.
+	Update(table string, key []types.Value, set func(types.Row) types.Row) (bool, error)
+	// Delete removes the row with the given unique key.
+	Delete(table string, key []types.Value) (bool, error)
+	// ScanEq iterates rows whose cols equal vals, in unspecified order.
+	// The emitted row may be reused between calls; callers that retain a
+	// row must Clone it.
+	ScanEq(table string, cols []int, vals []types.Value, emit func(types.Row) bool) error
+}

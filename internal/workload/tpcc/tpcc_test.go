@@ -1,0 +1,183 @@
+package tpcc
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"s2db/internal/baseline"
+	"s2db/internal/cluster"
+	"s2db/internal/core"
+	"s2db/internal/types"
+)
+
+func newS2Backend(t *testing.T, partitions int) *S2Backend {
+	t.Helper()
+	c, err := cluster.New(cluster.Config{
+		Partitions: partitions,
+		Table:      core.Config{MaxSegmentRows: 2048, FlushThreshold: 2048, Background: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return &S2Backend{C: c}
+}
+
+func TestLastName(t *testing.T) {
+	if LastName(0) != "BARBARBAR" {
+		t.Fatalf("LastName(0) = %s", LastName(0))
+	}
+	if LastName(371) != "PRICALLYOUGHT" {
+		t.Fatalf("LastName(371) = %s", LastName(371))
+	}
+}
+
+func TestLoadPopulatesAllTables(t *testing.T) {
+	b := newS2Backend(t, 2)
+	if err := Load(b, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{
+		TWarehouse: 1,
+		TDistrict:  DistrictsPerWarehouse,
+		TCustomer:  DistrictsPerWarehouse * CustomersPerDistrict,
+		TOrders:    DistrictsPerWarehouse * CustomersPerDistrict,
+		TItem:      Items,
+		TStock:     Items,
+		TNewOrder:  DistrictsPerWarehouse * 30,
+	}
+	for table, want := range counts {
+		views, err := b.C.Views(table)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := 0
+		for _, v := range views {
+			got += v.NumRows()
+		}
+		if got != want {
+			t.Fatalf("%s: %d rows, want %d", table, got, want)
+		}
+	}
+}
+
+func runMix(t *testing.T, b Backend, warehouses int) Result {
+	t.Helper()
+	if err := Load(b, warehouses, 1); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(b, DriverConfig{
+		Warehouses: warehouses,
+		Workers:    4,
+		Duration:   400 * time.Millisecond,
+		Seed:       2,
+	})
+	if err != nil {
+		t.Fatalf("driver error: %v (mix %+v)", err, res.Mix)
+	}
+	if res.Mix.Errors != 0 {
+		t.Fatalf("errors: %+v", res.Mix)
+	}
+	if res.Mix.NewOrder == 0 || res.Mix.Payment == 0 {
+		t.Fatalf("mix did not run: %+v", res.Mix)
+	}
+	return res
+}
+
+func TestMixAgainstS2(t *testing.T) {
+	b := newS2Backend(t, 2)
+	res := runMix(t, b, 2)
+	if res.TpmC <= 0 {
+		t.Fatalf("TpmC = %f", res.TpmC)
+	}
+}
+
+func TestMixAgainstRowDB(t *testing.T) {
+	b := &RowDBBackend{DB: baseline.NewRowDB()}
+	runMix(t, b, 2)
+}
+
+func TestNewOrderConsistency(t *testing.T) {
+	// After N successful NewOrders on one warehouse/district set, the
+	// district's next_o_id advances by exactly the number of orders created
+	// there, and orders/order_line rows exist for each.
+	b := newS2Backend(t, 1)
+	if err := Load(b, 1, 3); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(b, DriverConfig{Warehouses: 1, Workers: 1, MaxNewOrders: 30, Duration: 10 * time.Second, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := int64(0)
+	for d := 1; d <= DistrictsPerWarehouse; d++ {
+		dRow, ok, err := b.Get(TDistrict, []types.Value{iv(1), iv(int64(d))})
+		if err != nil || !ok {
+			t.Fatal(err)
+		}
+		total += dRow[DNextOID].I - int64(CustomersPerDistrict+1)
+	}
+	// Every allocated order id corresponds to one completed or rolled-back
+	// NewOrder.
+	if want := res.Mix.NewOrder + res.Mix.Rollbacks; total != want {
+		t.Fatalf("district counters advanced %d, driver ran %d new-orders", total, want)
+	}
+	// Orders inserted for every allocated id (rollbacks also insert, per
+	// the simplified per-row commit model).
+	var orderCount int64
+	b.ScanEq(TOrders, []int{OWID}, []types.Value{iv(1)}, func(r types.Row) bool {
+		if r[OOID].I > int64(CustomersPerDistrict) {
+			orderCount++
+		}
+		return true
+	})
+	if orderCount != total {
+		t.Fatalf("orders = %d, want %d", orderCount, total)
+	}
+}
+
+func TestDeliveryDrainsNewOrders(t *testing.T) {
+	b := newS2Backend(t, 1)
+	if err := Load(b, 1, 5); err != nil {
+		t.Fatal(err)
+	}
+	// Count initial undelivered orders.
+	countNew := func() int {
+		n := 0
+		b.ScanEq(TNewOrder, []int{NOWID}, []types.Value{iv(1)}, func(types.Row) bool { n++; return true })
+		return n
+	}
+	before := countNew()
+	if before != DistrictsPerWarehouse*30 {
+		t.Fatalf("initial new orders = %d", before)
+	}
+	rng := newTestRng()
+	if err := Delivery(b, rng, 1); err != nil {
+		t.Fatal(err)
+	}
+	after := countNew()
+	if after != before-DistrictsPerWarehouse {
+		t.Fatalf("delivery removed %d, want %d", before-after, DistrictsPerWarehouse)
+	}
+}
+
+func TestPaymentUpdatesBalances(t *testing.T) {
+	b := newS2Backend(t, 1)
+	if err := Load(b, 1, 6); err != nil {
+		t.Fatal(err)
+	}
+	wBefore, _, _ := b.Get(TWarehouse, []types.Value{iv(1)})
+	rng := newTestRng()
+	for i := 0; i < 10; i++ {
+		if err := Payment(b, rng, 1, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wAfter, _, _ := b.Get(TWarehouse, []types.Value{iv(1)})
+	if wAfter[WYtd].F <= wBefore[WYtd].F {
+		t.Fatal("warehouse YTD did not grow")
+	}
+}
+
+func newTestRng() *rand.Rand { return rand.New(rand.NewSource(42)) }

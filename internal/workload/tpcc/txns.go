@@ -1,0 +1,306 @@
+package tpcc
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"s2db/internal/types"
+)
+
+// errRollback models the spec's intentional 1% NewOrder rollback (invalid
+// item id); it counts as a completed-but-aborted transaction.
+var errRollback = errors.New("tpcc: intentional rollback")
+
+func iv(i int64) types.Value   { return types.NewInt(i) }
+func fv(f float64) types.Value { return types.NewFloat(f) }
+
+// NewOrder runs the NewOrder transaction for a random district/customer of
+// warehouse w. It returns errRollback for the intentional 1% aborts.
+func NewOrder(b Backend, rng *rand.Rand, w, warehouses int) error {
+	d := rng.Intn(DistrictsPerWarehouse) + 1
+	c := nuRand(rng, 1023, 1, CustomersPerDistrict)
+	olCnt := 5 + rng.Intn(11)
+	rollback := rng.Intn(100) == 0
+
+	// District: read and bump D_NEXT_O_ID.
+	var oid int64
+	ok, err := b.Update(TDistrict, []types.Value{iv(int64(w)), iv(int64(d))}, func(r types.Row) types.Row {
+		oid = r[DNextOID].I
+		r[DNextOID] = iv(oid + 1)
+		return r
+	})
+	if err != nil || !ok {
+		return fmt.Errorf("new-order: district: ok=%v err=%w", ok, err)
+	}
+	// Warehouse tax, customer.
+	if _, ok, err = b.Get(TWarehouse, []types.Value{iv(int64(w))}); err != nil || !ok {
+		return fmt.Errorf("new-order: warehouse: %w", err)
+	}
+	if _, ok, err = b.Get(TCustomer, []types.Value{iv(int64(w)), iv(int64(d)), iv(int64(c))}); err != nil || !ok {
+		return fmt.Errorf("new-order: customer: %w", err)
+	}
+	// Order and NewOrder rows.
+	if err := b.Insert(TOrders, types.Row{
+		iv(int64(w)), iv(int64(d)), iv(oid), iv(int64(c)),
+		iv(oid), iv(-1), iv(int64(olCnt)),
+	}); err != nil {
+		return fmt.Errorf("new-order: insert order: %w", err)
+	}
+	if err := b.Insert(TNewOrder, types.Row{iv(int64(w)), iv(int64(d)), iv(oid)}); err != nil {
+		return fmt.Errorf("new-order: insert new_order: %w", err)
+	}
+	// Order lines with stock updates.
+	for ol := 1; ol <= olCnt; ol++ {
+		item := nuRand(rng, 8191, 1, Items)
+		if rollback && ol == olCnt {
+			// Unused item id: the spec's intentional abort. Our per-row
+			// commits can't undo the prior lines; like the spec's terminal
+			// emulator we simply report the rollback (the order exists but
+			// the transaction does not count toward tpmC).
+			return errRollback
+		}
+		supplyW := w
+		if warehouses > 1 && rng.Intn(100) == 0 {
+			supplyW = rng.Intn(warehouses) + 1 // 1% remote (§TPC-C 2.4.1.5)
+		}
+		itemRow, ok, err := b.Get(TItem, []types.Value{iv(int64(item))})
+		if err != nil || !ok {
+			return fmt.Errorf("new-order: item %d: %w", item, err)
+		}
+		qty := rng.Intn(10) + 1
+		if _, err := b.Update(TStock, []types.Value{iv(int64(supplyW)), iv(int64(item))}, func(r types.Row) types.Row {
+			q := r[SQuantity].I
+			if q >= int64(qty)+10 {
+				q -= int64(qty)
+			} else {
+				q = q - int64(qty) + 91
+			}
+			r[SQuantity] = iv(q)
+			r[SYtd] = iv(r[SYtd].I + int64(qty))
+			r[SOrderCnt] = iv(r[SOrderCnt].I + 1)
+			if supplyW != w {
+				r[SRemoteCnt] = iv(r[SRemoteCnt].I + 1)
+			}
+			return r
+		}); err != nil {
+			return fmt.Errorf("new-order: stock: %w", err)
+		}
+		amount := float64(qty) * itemRow[IPrice].F
+		if err := b.Insert(TOrderLine, types.Row{
+			iv(int64(w)), iv(int64(d)), iv(oid), iv(int64(ol)),
+			iv(int64(item)), iv(int64(supplyW)), iv(int64(qty)), fv(amount), iv(-1),
+		}); err != nil {
+			return fmt.Errorf("new-order: order line: %w", err)
+		}
+	}
+	return nil
+}
+
+// Payment runs the Payment transaction.
+func Payment(b Backend, rng *rand.Rand, w, warehouses int) error {
+	d := rng.Intn(DistrictsPerWarehouse) + 1
+	amount := 1 + rng.Float64()*4999
+	// 15% of payments are for remote customers.
+	cw, cd := w, d
+	if warehouses > 1 && rng.Intn(100) < 15 {
+		for cw == w {
+			cw = rng.Intn(warehouses) + 1
+		}
+		cd = rng.Intn(DistrictsPerWarehouse) + 1
+	}
+	if _, err := b.Update(TWarehouse, []types.Value{iv(int64(w))}, func(r types.Row) types.Row {
+		r[WYtd] = fv(r[WYtd].F + amount)
+		return r
+	}); err != nil {
+		return fmt.Errorf("payment: warehouse: %w", err)
+	}
+	if _, err := b.Update(TDistrict, []types.Value{iv(int64(w)), iv(int64(d))}, func(r types.Row) types.Row {
+		r[DYtd] = fv(r[DYtd].F + amount)
+		return r
+	}); err != nil {
+		return fmt.Errorf("payment: district: %w", err)
+	}
+	// 60% by customer id, 40% by last name (spec 2.5.1.2).
+	var cid int64
+	if rng.Intn(100) < 60 {
+		cid = int64(nuRand(rng, 1023, 1, CustomersPerDistrict))
+	} else {
+		last := LastName(nuRand(rng, 255, 0, 999))
+		var matches []types.Row
+		err := b.ScanEq(TCustomer, []int{CWID, CDID, CLast},
+			[]types.Value{iv(int64(cw)), iv(int64(cd)), types.NewString(last)},
+			func(r types.Row) bool {
+				matches = append(matches, r.Clone())
+				return true
+			})
+		if err != nil {
+			return fmt.Errorf("payment: by-name scan: %w", err)
+		}
+		if len(matches) == 0 {
+			cid = int64(rng.Intn(CustomersPerDistrict) + 1)
+		} else {
+			// Midpoint of the name-ordered matches, per spec.
+			sortRowsBy(matches, CFirst)
+			cid = matches[len(matches)/2][CID].I
+		}
+	}
+	if _, err := b.Update(TCustomer, []types.Value{iv(int64(cw)), iv(int64(cd)), iv(cid)}, func(r types.Row) types.Row {
+		r[CBalance] = fv(r[CBalance].F - amount)
+		r[CYtdPayment] = fv(r[CYtdPayment].F + amount)
+		r[CPaymentCnt] = iv(r[CPaymentCnt].I + 1)
+		return r
+	}); err != nil {
+		return fmt.Errorf("payment: customer: %w", err)
+	}
+	if err := b.Insert(THistory, types.Row{
+		iv(int64(cw)), iv(int64(cd)), iv(cid), fv(amount), types.NewString("payment"),
+	}); err != nil {
+		return fmt.Errorf("payment: history: %w", err)
+	}
+	return nil
+}
+
+// OrderStatus runs the read-only OrderStatus transaction.
+func OrderStatus(b Backend, rng *rand.Rand, w int) error {
+	d := rng.Intn(DistrictsPerWarehouse) + 1
+	cid := int64(nuRand(rng, 1023, 1, CustomersPerDistrict))
+	if _, ok, err := b.Get(TCustomer, []types.Value{iv(int64(w)), iv(int64(d)), iv(cid)}); err != nil || !ok {
+		return fmt.Errorf("order-status: customer: %w", err)
+	}
+	// Latest order of the customer via the (w, d, c) secondary index.
+	var lastOID int64 = -1
+	err := b.ScanEq(TOrders, []int{OWID, ODID, OCID},
+		[]types.Value{iv(int64(w)), iv(int64(d)), iv(cid)},
+		func(r types.Row) bool {
+			if r[OOID].I > lastOID {
+				lastOID = r[OOID].I
+			}
+			return true
+		})
+	if err != nil {
+		return fmt.Errorf("order-status: orders: %w", err)
+	}
+	if lastOID < 0 {
+		return nil // customer has no orders yet
+	}
+	// Its order lines.
+	return b.ScanEq(TOrderLine, []int{OLWID, OLDID, OLOID},
+		[]types.Value{iv(int64(w)), iv(int64(d)), iv(lastOID)},
+		func(types.Row) bool { return true })
+}
+
+// Delivery runs the Delivery transaction: one batch over all districts.
+func Delivery(b Backend, rng *rand.Rand, w int) error {
+	carrier := int64(rng.Intn(10) + 1)
+	for d := 1; d <= DistrictsPerWarehouse; d++ {
+		// Oldest undelivered order.
+		var oldest int64 = -1
+		err := b.ScanEq(TNewOrder, []int{NOWID, NODID},
+			[]types.Value{iv(int64(w)), iv(int64(d))},
+			func(r types.Row) bool {
+				if oldest < 0 || r[NOOID].I < oldest {
+					oldest = r[NOOID].I
+				}
+				return true
+			})
+		if err != nil {
+			return fmt.Errorf("delivery: new_order scan: %w", err)
+		}
+		if oldest < 0 {
+			continue // district fully delivered
+		}
+		existed, err := b.Delete(TNewOrder, []types.Value{iv(int64(w)), iv(int64(d)), iv(oldest)})
+		if err != nil {
+			return fmt.Errorf("delivery: delete new_order: %w", err)
+		}
+		if !existed {
+			continue // another worker delivered it first
+		}
+		var cid int64
+		if _, err := b.Update(TOrders, []types.Value{iv(int64(w)), iv(int64(d)), iv(oldest)}, func(r types.Row) types.Row {
+			cid = r[OCID].I
+			r[OCarrierID] = iv(carrier)
+			return r
+		}); err != nil {
+			return fmt.Errorf("delivery: order: %w", err)
+		}
+		// Order lines: stamp delivery date and total the amounts.
+		var total float64
+		var lineKeys [][]types.Value
+		err = b.ScanEq(TOrderLine, []int{OLWID, OLDID, OLOID},
+			[]types.Value{iv(int64(w)), iv(int64(d)), iv(oldest)},
+			func(r types.Row) bool {
+				total += r[OLAmount].F
+				lineKeys = append(lineKeys, []types.Value{r[OLWID], r[OLDID], r[OLOID], r[OLNumber]})
+				return true
+			})
+		if err != nil {
+			return fmt.Errorf("delivery: order lines: %w", err)
+		}
+		for _, k := range lineKeys {
+			if _, err := b.Update(TOrderLine, k, func(r types.Row) types.Row {
+				r[OLDeliveryD] = iv(oldest)
+				return r
+			}); err != nil {
+				return fmt.Errorf("delivery: order line update: %w", err)
+			}
+		}
+		if _, err := b.Update(TCustomer, []types.Value{iv(int64(w)), iv(int64(d)), iv(cid)}, func(r types.Row) types.Row {
+			r[CBalance] = fv(r[CBalance].F + total)
+			r[CDeliverCnt] = iv(r[CDeliverCnt].I + 1)
+			return r
+		}); err != nil {
+			return fmt.Errorf("delivery: customer: %w", err)
+		}
+	}
+	return nil
+}
+
+// StockLevel runs the read-only StockLevel transaction.
+func StockLevel(b Backend, rng *rand.Rand, w int) error {
+	d := rng.Intn(DistrictsPerWarehouse) + 1
+	threshold := int64(10 + rng.Intn(11))
+	dRow, ok, err := b.Get(TDistrict, []types.Value{iv(int64(w)), iv(int64(d))})
+	if err != nil || !ok {
+		return fmt.Errorf("stock-level: district: %w", err)
+	}
+	nextO := dRow[DNextOID].I
+	// Items in the last 20 orders.
+	itemSet := map[int64]struct{}{}
+	for o := nextO - 20; o < nextO; o++ {
+		if o < 1 {
+			continue
+		}
+		err := b.ScanEq(TOrderLine, []int{OLWID, OLDID, OLOID},
+			[]types.Value{iv(int64(w)), iv(int64(d)), iv(o)},
+			func(r types.Row) bool {
+				itemSet[r[OLIID].I] = struct{}{}
+				return true
+			})
+		if err != nil {
+			return fmt.Errorf("stock-level: order lines: %w", err)
+		}
+	}
+	low := 0
+	for item := range itemSet {
+		s, ok, err := b.Get(TStock, []types.Value{iv(int64(w)), iv(item)})
+		if err != nil {
+			return fmt.Errorf("stock-level: stock: %w", err)
+		}
+		if ok && s[SQuantity].I < threshold {
+			low++
+		}
+	}
+	_ = low
+	return nil
+}
+
+// sortRowsBy insertion-sorts small row sets by one string column.
+func sortRowsBy(rows []types.Row, col int) {
+	for i := 1; i < len(rows); i++ {
+		for j := i; j > 0 && rows[j][col].S < rows[j-1][col].S; j-- {
+			rows[j], rows[j-1] = rows[j-1], rows[j]
+		}
+	}
+}

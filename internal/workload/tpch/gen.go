@@ -1,0 +1,259 @@
+package tpch
+
+import (
+	"fmt"
+	"math/rand"
+
+	"s2db/internal/types"
+)
+
+// Cardinalities at scale factor 1 (scaled linearly).
+const (
+	suppliersPerSF = 10000
+	customersPerSF = 150000
+	partsPerSF     = 200000
+	ordersPerSF    = 1500000
+)
+
+var (
+	regionNames = []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}
+	nationNames = []string{
+		"ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA", "FRANCE",
+		"GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN", "KENYA",
+		"MOROCCO", "MOZAMBIQUE", "PERU", "CHINA", "ROMANIA", "SAUDI ARABIA",
+		"VIETNAM", "RUSSIA", "UNITED KINGDOM", "UNITED STATES",
+	}
+	segments   = []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"}
+	priorities = []string{"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"}
+	shipModes  = []string{"REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"}
+	instructs  = []string{"DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"}
+	containers = []string{"SM CASE", "SM BOX", "MED BAG", "MED BOX", "LG CASE", "LG BOX", "JUMBO PKG", "WRAP CASE"}
+	typeSyll1  = []string{"STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"}
+	typeSyll2  = []string{"ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"}
+	typeSyll3  = []string{"TIN", "NICKEL", "BRASS", "STEEL", "COPPER"}
+	nameWords  = []string{"almond", "antique", "aquamarine", "azure", "beige", "bisque", "black", "blanched", "blue", "blush", "brown", "burlywood", "chartreuse", "chiffon", "chocolate", "coral", "cornflower"}
+)
+
+var (
+	startDate = Date(1992, 1, 1)
+	endDate   = Date(1998, 12, 1)
+)
+
+// Sizes reports the table cardinalities for a scale factor.
+func Sizes(sf float64) map[string]int {
+	orders := int(float64(ordersPerSF) * sf)
+	return map[string]int{
+		TRegion:   len(regionNames),
+		TNation:   len(nationNames),
+		TSupplier: max(1, int(float64(suppliersPerSF)*sf)),
+		TCustomer: max(1, int(float64(customersPerSF)*sf)),
+		TPart:     max(1, int(float64(partsPerSF)*sf)),
+		TPartSupp: max(1, int(float64(partsPerSF)*sf)) * 4,
+		TOrders:   max(1, orders),
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Loader receives generated rows table by table.
+type Loader interface {
+	CreateTables() error
+	Load(table string, rows []types.Row) error
+}
+
+// Generate produces the dataset at the given scale factor deterministically
+// from seed and feeds it to the loader in bulk batches.
+func Generate(l Loader, sf float64, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	sizes := Sizes(sf)
+	if err := l.CreateTables(); err != nil {
+		return err
+	}
+	// Region / nation.
+	regions := make([]types.Row, len(regionNames))
+	for i, n := range regionNames {
+		regions[i] = types.Row{types.NewInt(int64(i)), types.NewString(n), types.NewString("region comment")}
+	}
+	if err := l.Load(TRegion, regions); err != nil {
+		return err
+	}
+	nations := make([]types.Row, len(nationNames))
+	for i, n := range nationNames {
+		nations[i] = types.Row{
+			types.NewInt(int64(i)), types.NewString(n),
+			types.NewInt(int64(i % len(regionNames))), types.NewString("nation comment"),
+		}
+	}
+	if err := l.Load(TNation, nations); err != nil {
+		return err
+	}
+	// Supplier.
+	nSupp := sizes[TSupplier]
+	supp := make([]types.Row, nSupp)
+	for i := range supp {
+		supp[i] = types.Row{
+			types.NewInt(int64(i + 1)),
+			types.NewString(fmt.Sprintf("Supplier#%09d", i+1)),
+			types.NewString(randText(rng, 15)),
+			types.NewInt(int64(rng.Intn(len(nationNames)))),
+			types.NewString(phone(rng)),
+			types.NewFloat(-999.99 + rng.Float64()*10998.98),
+			types.NewString(supplierComment(rng, i)),
+		}
+	}
+	if err := l.Load(TSupplier, supp); err != nil {
+		return err
+	}
+	// Customer.
+	nCust := sizes[TCustomer]
+	cust := make([]types.Row, nCust)
+	for i := range cust {
+		cust[i] = types.Row{
+			types.NewInt(int64(i + 1)),
+			types.NewString(fmt.Sprintf("Customer#%09d", i+1)),
+			types.NewString(randText(rng, 15)),
+			types.NewInt(int64(rng.Intn(len(nationNames)))),
+			types.NewString(phone(rng)),
+			types.NewFloat(-999.99 + rng.Float64()*10998.98),
+			types.NewString(segments[rng.Intn(len(segments))]),
+			types.NewString(randText(rng, 30)),
+		}
+	}
+	if err := l.Load(TCustomer, cust); err != nil {
+		return err
+	}
+	// Part.
+	nPart := sizes[TPart]
+	parts := make([]types.Row, nPart)
+	for i := range parts {
+		ptype := typeSyll1[rng.Intn(len(typeSyll1))] + " " + typeSyll2[rng.Intn(len(typeSyll2))] + " " + typeSyll3[rng.Intn(len(typeSyll3))]
+		parts[i] = types.Row{
+			types.NewInt(int64(i + 1)),
+			types.NewString(nameWords[rng.Intn(len(nameWords))] + " " + nameWords[rng.Intn(len(nameWords))]),
+			types.NewString(fmt.Sprintf("Manufacturer#%d", rng.Intn(5)+1)),
+			types.NewString(fmt.Sprintf("Brand#%d%d", rng.Intn(5)+1, rng.Intn(5)+1)),
+			types.NewString(ptype),
+			types.NewInt(int64(rng.Intn(50) + 1)),
+			types.NewString(containers[rng.Intn(len(containers))]),
+			types.NewFloat(900 + float64(i%1000)/10),
+			types.NewString(randText(rng, 14)),
+		}
+	}
+	if err := l.Load(TPart, parts); err != nil {
+		return err
+	}
+	// PartSupp: 4 suppliers per part.
+	ps := make([]types.Row, 0, nPart*4)
+	for p := 1; p <= nPart; p++ {
+		for s := 0; s < 4; s++ {
+			ps = append(ps, types.Row{
+				types.NewInt(int64(p)),
+				types.NewInt(int64((p+s*(nSupp/4+1))%nSupp + 1)),
+				types.NewInt(int64(rng.Intn(9999) + 1)),
+				types.NewFloat(1 + rng.Float64()*999),
+				types.NewString(randText(rng, 20)),
+			})
+		}
+	}
+	if err := l.Load(TPartSupp, ps); err != nil {
+		return err
+	}
+	// Orders and lineitem.
+	nOrders := sizes[TOrders]
+	const batch = 4096
+	orders := make([]types.Row, 0, batch)
+	lines := make([]types.Row, 0, batch*4)
+	for o := 1; o <= nOrders; o++ {
+		custKey := int64(rng.Intn(nCust) + 1)
+		oDate := startDate + int64(rng.Intn(int(endDate-startDate)))
+		nLines := rng.Intn(7) + 1
+		var total float64
+		status := "O"
+		allF := true
+		for ln := 1; ln <= nLines; ln++ {
+			partKey := int64(rng.Intn(nPart) + 1)
+			suppKey := int64(rng.Intn(nSupp) + 1)
+			qty := float64(rng.Intn(50) + 1)
+			price := (90000 + float64(partKey%20000) + 100*float64(int(qty))) / 100
+			ext := qty * price
+			disc := float64(rng.Intn(11)) / 100
+			tax := float64(rng.Intn(9)) / 100
+			shipDate := oDate + int64(rng.Intn(121)+1)
+			commitDate := oDate + int64(rng.Intn(91)+30)
+			receiptDate := shipDate + int64(rng.Intn(30)+1)
+			rf := "N"
+			ls := "O"
+			if receiptDate <= Date(1995, 6, 17) {
+				if rng.Intn(2) == 0 {
+					rf = "R"
+				} else {
+					rf = "A"
+				}
+				ls = "F"
+			} else {
+				allF = false
+			}
+			total += ext * (1 + tax) * (1 - disc)
+			lines = append(lines, types.Row{
+				types.NewInt(int64(o)), types.NewInt(partKey), types.NewInt(suppKey), types.NewInt(int64(ln)),
+				types.NewFloat(qty), types.NewFloat(ext), types.NewFloat(disc), types.NewFloat(tax),
+				types.NewString(rf), types.NewString(ls),
+				types.NewInt(shipDate), types.NewInt(commitDate), types.NewInt(receiptDate),
+				types.NewString(instructs[rng.Intn(len(instructs))]),
+				types.NewString(shipModes[rng.Intn(len(shipModes))]),
+				types.NewString(randText(rng, 20)),
+			})
+		}
+		if allF {
+			status = "F"
+		}
+		orders = append(orders, types.Row{
+			types.NewInt(int64(o)), types.NewInt(custKey), types.NewString(status),
+			types.NewFloat(total), types.NewInt(oDate),
+			types.NewString(priorities[rng.Intn(len(priorities))]),
+			types.NewString(fmt.Sprintf("Clerk#%09d", rng.Intn(1000)+1)),
+			types.NewInt(0), types.NewString(randText(rng, 19)),
+		})
+		if len(orders) >= batch || o == nOrders {
+			if err := l.Load(TOrders, orders); err != nil {
+				return err
+			}
+			if err := l.Load(TLineItem, lines); err != nil {
+				return err
+			}
+			orders = orders[:0]
+			lines = lines[:0]
+		}
+	}
+	return nil
+}
+
+// supplierComment occasionally embeds the Q20-ish "Customer Complaints"
+// marker used by Q16.
+func supplierComment(rng *rand.Rand, i int) string {
+	if i%50 == 0 {
+		return "Customer Complaints " + randText(rng, 10)
+	}
+	return randText(rng, 25)
+}
+
+func phone(rng *rand.Rand) string {
+	return fmt.Sprintf("%02d-%03d-%03d-%04d", rng.Intn(25)+10, rng.Intn(1000), rng.Intn(1000), rng.Intn(10000))
+}
+
+func randText(rng *rand.Rand, n int) string {
+	b := make([]byte, n)
+	for i := range b {
+		if rng.Intn(6) == 0 {
+			b[i] = ' '
+		} else {
+			b[i] = byte('a' + rng.Intn(26))
+		}
+	}
+	return string(b)
+}

@@ -1,0 +1,84 @@
+package tpch
+
+import (
+	"s2db/internal/baseline"
+	"s2db/internal/cluster"
+	"s2db/internal/types"
+)
+
+// S2Loader loads the dataset into a S2DB cluster via the bulk columnstore
+// path.
+type S2Loader struct {
+	C *cluster.Cluster
+}
+
+// CreateTables implements Loader.
+func (l *S2Loader) CreateTables() error {
+	for name, schema := range Schemas() {
+		if err := l.C.CreateTable(name, schema); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Load implements Loader.
+func (l *S2Loader) Load(table string, rows []types.Row) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	return l.C.BulkLoad(table, rows)
+}
+
+// RowLoader loads the dataset into the rowstore baseline.
+type RowLoader struct {
+	DB *baseline.RowDB
+}
+
+// CreateTables implements Loader.
+func (l *RowLoader) CreateTables() error {
+	for name, schema := range Schemas() {
+		if err := l.DB.CreateTable(name, schema); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Load implements Loader.
+func (l *RowLoader) Load(table string, rows []types.Row) error {
+	t, err := l.DB.Table(table)
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := t.Insert(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WarehouseLoader loads the dataset into the CDW baseline.
+type WarehouseLoader struct {
+	W *baseline.Warehouse
+}
+
+// CreateTables implements Loader (index/unique features are stripped by
+// the warehouse).
+func (l *WarehouseLoader) CreateTables() error {
+	for name, schema := range Schemas() {
+		if err := l.W.CreateTable(name, schema); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Load implements Loader.
+func (l *WarehouseLoader) Load(table string, rows []types.Row) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	return l.W.BulkLoad(table, rows)
+}

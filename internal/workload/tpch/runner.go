@@ -1,0 +1,91 @@
+package tpch
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"s2db/internal/types"
+)
+
+// QueryResult records one query execution.
+type QueryResult struct {
+	Name     string
+	Duration time.Duration
+	Rows     int
+	Err      error
+}
+
+// RunAll executes every query once against the engine, returning per-query
+// timings (Figure 4's series).
+func RunAll(e Engine) []QueryResult {
+	out := make([]QueryResult, 0, 22)
+	for _, q := range Queries() {
+		start := time.Now()
+		rows, err := q.Run(e)
+		out = append(out, QueryResult{
+			Name:     q.Name,
+			Duration: time.Since(start),
+			Rows:     len(rows),
+			Err:      err,
+		})
+	}
+	return out
+}
+
+// RunAllTimeout is RunAll with a per-run wall-clock budget: once exceeded,
+// remaining queries are marked "did not finish" (the CDB row in Table 2).
+func RunAllTimeout(e Engine, budget time.Duration) ([]QueryResult, bool) {
+	deadline := time.Now().Add(budget)
+	out := make([]QueryResult, 0, 22)
+	for _, q := range Queries() {
+		if time.Now().After(deadline) {
+			out = append(out, QueryResult{Name: q.Name, Err: fmt.Errorf("did not finish within budget")})
+			continue
+		}
+		start := time.Now()
+		rows, err := q.Run(e)
+		out = append(out, QueryResult{Name: q.Name, Duration: time.Since(start), Rows: len(rows), Err: err})
+	}
+	finished := true
+	for _, r := range out {
+		if r.Err != nil {
+			finished = false
+		}
+	}
+	return out, finished
+}
+
+// Geomean computes the geometric mean runtime of completed queries
+// (Table 2's summary metric).
+func Geomean(results []QueryResult) (time.Duration, bool) {
+	sumLog := 0.0
+	n := 0
+	for _, r := range results {
+		if r.Err != nil {
+			return 0, false
+		}
+		d := r.Duration.Seconds()
+		if d <= 0 {
+			d = 1e-9
+		}
+		sumLog += math.Log(d)
+		n++
+	}
+	if n == 0 {
+		return 0, false
+	}
+	return time.Duration(math.Exp(sumLog/float64(n)) * float64(time.Second)), true
+}
+
+// FormatRow renders a result row for harness output.
+func FormatRow(r types.Row) string {
+	s := ""
+	for i, v := range r {
+		if i > 0 {
+			s += " | "
+		}
+		s += v.String()
+	}
+	return s
+}

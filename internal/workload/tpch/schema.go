@@ -1,0 +1,176 @@
+// Package tpch implements a TPC-H-derived analytical workload: the eight
+// tables, a deterministic scale-factor data generator, and all 22 queries
+// written against a small Engine interface so the same workload runs on
+// S2DB unified storage, the warehouse baseline (same columnar execution)
+// and the rowstore baseline (row-at-a-time execution) — reproducing
+// Table 2 and Figure 4 of the paper. Dates are stored as epoch-day int64s
+// and decimals as float64.
+package tpch
+
+import (
+	"time"
+
+	"s2db/internal/types"
+)
+
+// Table names.
+const (
+	TRegion   = "region"
+	TNation   = "nation"
+	TSupplier = "supplier"
+	TCustomer = "customer"
+	TPart     = "part"
+	TPartSupp = "partsupp"
+	TOrders   = "orders"
+	TLineItem = "lineitem"
+)
+
+// Column ordinals.
+const (
+	RRegionKey = 0
+	RName      = 1
+	RComment   = 2
+
+	NNationKey = 0
+	NName      = 1
+	NRegionKey = 2
+	NComment   = 3
+
+	SSuppKey    = 0
+	SName       = 1
+	SAddress    = 2
+	SNationKey  = 3
+	SPhone      = 4
+	SAcctBal    = 5
+	SSuppComent = 6
+
+	CCustKey    = 0
+	CName       = 1
+	CAddress    = 2
+	CNationKey  = 3
+	CPhone      = 4
+	CAcctBal    = 5
+	CMktSegment = 6
+	CComment    = 7
+
+	PPartKey     = 0
+	PName        = 1
+	PMfgr        = 2
+	PBrand       = 3
+	PType        = 4
+	PSize        = 5
+	PContainer   = 6
+	PRetailPrice = 7
+	PComment     = 8
+
+	PSPartKey    = 0
+	PSSuppKey    = 1
+	PSAvailQty   = 2
+	PSSupplyCost = 3
+	PSComment    = 4
+
+	OOrderKey      = 0
+	OCustKey       = 1
+	OOrderStatus   = 2
+	OTotalPrice    = 3
+	OOrderDate     = 4
+	OOrderPriority = 5
+	OClerk         = 6
+	OShipPriority  = 7
+	OComment       = 8
+
+	LOrderKey      = 0
+	LPartKey       = 1
+	LSuppKey       = 2
+	LLineNumber    = 3
+	LQuantity      = 4
+	LExtendedPrice = 5
+	LDiscount      = 6
+	LTax           = 7
+	LReturnFlag    = 8
+	LLineStatus    = 9
+	LShipDate      = 10
+	LCommitDate    = 11
+	LReceiptDate   = 12
+	LShipInstruct  = 13
+	LShipMode      = 14
+	LComment       = 15
+)
+
+// Date converts a calendar date to the epoch-day representation used in
+// generated data and query constants.
+func Date(year, month, day int) int64 {
+	return time.Date(year, time.Month(month), day, 0, 0, 0, 0, time.UTC).Unix() / 86400
+}
+
+// Schemas returns the eight table schemas keyed by name. Sort keys follow
+// common warehouse practice (fact tables sorted by date); secondary keys
+// support the OLTP-ish probes of CH-BenCHmark.
+func Schemas() map[string]*types.Schema {
+	i64 := func(n string) types.Column { return types.Column{Name: n, Type: types.Int64} }
+	f64 := func(n string) types.Column { return types.Column{Name: n, Type: types.Float64} }
+	str := func(n string) types.Column { return types.Column{Name: n, Type: types.String} }
+
+	region := types.NewSchema(i64("r_regionkey"), str("r_name"), str("r_comment"))
+	region.UniqueKey = []int{RRegionKey}
+	region.ShardKey = []int{RRegionKey}
+
+	nation := types.NewSchema(i64("n_nationkey"), str("n_name"), i64("n_regionkey"), str("n_comment"))
+	nation.UniqueKey = []int{NNationKey}
+	nation.ShardKey = []int{NNationKey}
+
+	supplier := types.NewSchema(
+		i64("s_suppkey"), str("s_name"), str("s_address"), i64("s_nationkey"),
+		str("s_phone"), f64("s_acctbal"), str("s_comment"))
+	supplier.UniqueKey = []int{SSuppKey}
+	supplier.ShardKey = []int{SSuppKey}
+
+	customer := types.NewSchema(
+		i64("c_custkey"), str("c_name"), str("c_address"), i64("c_nationkey"),
+		str("c_phone"), f64("c_acctbal"), str("c_mktsegment"), str("c_comment"))
+	customer.UniqueKey = []int{CCustKey}
+	customer.ShardKey = []int{CCustKey}
+	customer.SecondaryKeys = [][]int{{CMktSegment}}
+
+	part := types.NewSchema(
+		i64("p_partkey"), str("p_name"), str("p_mfgr"), str("p_brand"), str("p_type"),
+		i64("p_size"), str("p_container"), f64("p_retailprice"), str("p_comment"))
+	part.UniqueKey = []int{PPartKey}
+	part.ShardKey = []int{PPartKey}
+	part.SecondaryKeys = [][]int{{PBrand}}
+
+	partsupp := types.NewSchema(
+		i64("ps_partkey"), i64("ps_suppkey"), i64("ps_availqty"), f64("ps_supplycost"), str("ps_comment"))
+	partsupp.UniqueKey = []int{PSPartKey, PSSuppKey}
+	partsupp.ShardKey = []int{PSPartKey}
+
+	orders := types.NewSchema(
+		i64("o_orderkey"), i64("o_custkey"), str("o_orderstatus"), f64("o_totalprice"),
+		i64("o_orderdate"), str("o_orderpriority"), str("o_clerk"), i64("o_shippriority"), str("o_comment"))
+	orders.UniqueKey = []int{OOrderKey}
+	orders.ShardKey = []int{OOrderKey}
+	orders.SortKey = OOrderDate
+	orders.SecondaryKeys = [][]int{{OCustKey}}
+
+	lineitem := types.NewSchema(
+		i64("l_orderkey"), i64("l_partkey"), i64("l_suppkey"), i64("l_linenumber"),
+		f64("l_quantity"), f64("l_extendedprice"), f64("l_discount"), f64("l_tax"),
+		str("l_returnflag"), str("l_linestatus"),
+		i64("l_shipdate"), i64("l_commitdate"), i64("l_receiptdate"),
+		str("l_shipinstruct"), str("l_shipmode"), str("l_comment"))
+	lineitem.UniqueKey = []int{LOrderKey, LLineNumber}
+	lineitem.ShardKey = []int{LOrderKey}
+	lineitem.SortKey = LShipDate
+	lineitem.SecondaryKeys = [][]int{{LPartKey}}
+
+	return map[string]*types.Schema{
+		TRegion:   region,
+		TNation:   nation,
+		TSupplier: supplier,
+		TCustomer: customer,
+		TPart:     part,
+		TPartSupp: partsupp,
+		TOrders:   orders,
+		TLineItem: lineitem,
+	}
+}

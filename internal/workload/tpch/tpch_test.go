@@ -1,0 +1,220 @@
+package tpch
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"s2db/internal/baseline"
+	"s2db/internal/cluster"
+	"s2db/internal/core"
+	"s2db/internal/types"
+)
+
+const testSF = 0.002 // ~3000 orders, ~12000 lineitems
+
+func newS2(t testing.TB) *S2Engine {
+	t.Helper()
+	c, err := cluster.New(cluster.Config{
+		Partitions: 2,
+		Table:      core.Config{MaxSegmentRows: 2048},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tt, ok := t.(*testing.T); ok {
+		tt.Cleanup(c.Close)
+	}
+	if err := Generate(&S2Loader{C: c}, testSF, 7); err != nil {
+		t.Fatal(err)
+	}
+	return &S2Engine{C: c}
+}
+
+func newRow(t testing.TB) *RowEngine {
+	t.Helper()
+	db := baseline.NewRowDB()
+	if err := Generate(&RowLoader{DB: db}, testSF, 7); err != nil {
+		t.Fatal(err)
+	}
+	return &RowEngine{DB: db}
+}
+
+func TestDateHelper(t *testing.T) {
+	if Date(1970, 1, 1) != 0 {
+		t.Fatalf("epoch = %d", Date(1970, 1, 1))
+	}
+	if Date(1970, 1, 2)-Date(1970, 1, 1) != 1 {
+		t.Fatal("day arithmetic broken")
+	}
+	if Date(1995, 3, 15) <= Date(1992, 1, 1) {
+		t.Fatal("ordering broken")
+	}
+}
+
+func TestGenerateCardinalities(t *testing.T) {
+	e := newS2(t)
+	sizes := Sizes(testSF)
+	for table, want := range sizes {
+		views, err := e.C.Views(table)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := 0
+		for _, v := range views {
+			got += v.NumRows()
+		}
+		if got != want {
+			t.Fatalf("%s: %d rows, want %d", table, got, want)
+		}
+	}
+	// Lineitems: 1..7 per order.
+	views, _ := e.C.Views(TLineItem)
+	got := 0
+	for _, v := range views {
+		got += v.NumRows()
+	}
+	orders := sizes[TOrders]
+	if got < orders || got > orders*7 {
+		t.Fatalf("lineitem count %d outside [%d, %d]", got, orders, orders*7)
+	}
+}
+
+// canonical renders result rows order-independently for comparison.
+func canonical(rows []types.Row) []string {
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		s := ""
+		for _, v := range r {
+			if v.Type == types.Float64 && !v.IsNull {
+				s += fmt.Sprintf("|%.4f", v.F)
+			} else {
+				s += "|" + v.String()
+			}
+		}
+		out[i] = s
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestQueriesAgreeAcrossEngines is the cross-validation at the heart of
+// the reproduction: the vectorized adaptive engine and the row-at-a-time
+// baseline must return identical answers for all 22 queries.
+func TestQueriesAgreeAcrossEngines(t *testing.T) {
+	s2 := newS2(t)
+	row := newRow(t)
+	for _, q := range Queries() {
+		q := q
+		t.Run(q.Name, func(t *testing.T) {
+			a, err := q.Run(s2)
+			if err != nil {
+				t.Fatalf("s2: %v", err)
+			}
+			b, err := q.Run(row)
+			if err != nil {
+				t.Fatalf("row: %v", err)
+			}
+			ca, cb := canonical(a), canonical(b)
+			if len(ca) != len(cb) {
+				t.Fatalf("row counts differ: s2=%d row=%d", len(ca), len(cb))
+			}
+			for i := range ca {
+				if ca[i] != cb[i] {
+					t.Fatalf("row %d differs:\n  s2:  %s\n  row: %s", i, ca[i], cb[i])
+				}
+			}
+		})
+	}
+}
+
+func TestQ1Shape(t *testing.T) {
+	e := newS2(t)
+	rows, err := Q1(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Return flags: A/N/R x line status F/O, but N|F is rare; expect 3-4.
+	if len(rows) < 3 || len(rows) > 4 {
+		t.Fatalf("Q1 groups = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r[2].F <= 0 { // sum_qty (LQuantity is a float column)
+			t.Fatalf("empty group in Q1: %v", r)
+		}
+	}
+}
+
+func TestQ6Positive(t *testing.T) {
+	e := newS2(t)
+	rows, err := Q6(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0][0].F <= 0 {
+		t.Fatalf("Q6 = %v", rows)
+	}
+}
+
+func TestRunAllAndGeomean(t *testing.T) {
+	e := newS2(t)
+	results := RunAll(e)
+	if len(results) != 22 {
+		t.Fatalf("ran %d queries", len(results))
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("%s: %v", r.Name, r.Err)
+		}
+	}
+	g, ok := Geomean(results)
+	if !ok || g <= 0 {
+		t.Fatalf("geomean = %v ok=%v", g, ok)
+	}
+}
+
+func TestRunAllTimeoutMarksDNF(t *testing.T) {
+	e := newS2(t)
+	results, finished := RunAllTimeout(e, 0) // zero budget: everything DNFs
+	if finished {
+		t.Fatal("zero budget should not finish")
+	}
+	if _, ok := Geomean(results); ok {
+		t.Fatal("geomean of DNF run should not be ok")
+	}
+}
+
+func TestWarehouseEngineAgreesOnAggregates(t *testing.T) {
+	w, err := baseline.NewWarehouse(baseline.WarehouseConfig{
+		Partitions: 1,
+		Table:      core.Config{MaxSegmentRows: 2048},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := Generate(&WarehouseLoader{W: w}, testSF, 7); err != nil {
+		t.Fatal(err)
+	}
+	we := &WarehouseEngine{W: w}
+	s2 := newS2(t)
+	for _, q := range []QuerySpec{{"Q1", Q1}, {"Q6", Q6}, {"Q14", Q14}} {
+		a, err := q.Run(s2)
+		if err != nil {
+			t.Fatalf("%s s2: %v", q.Name, err)
+		}
+		b, err := q.Run(we)
+		if err != nil {
+			t.Fatalf("%s cdw: %v", q.Name, err)
+		}
+		ca, cb := canonical(a), canonical(b)
+		if len(ca) != len(cb) {
+			t.Fatalf("%s: row counts differ", q.Name)
+		}
+		for i := range ca {
+			if ca[i] != cb[i] {
+				t.Fatalf("%s row %d: %s vs %s", q.Name, i, ca[i], cb[i])
+			}
+		}
+	}
+}

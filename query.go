@@ -1,0 +1,189 @@
+package s2db
+
+import (
+	"s2db/internal/cluster"
+	"s2db/internal/core"
+	"s2db/internal/exec"
+	"s2db/internal/types"
+	"s2db/internal/vector"
+)
+
+// Filter is a predicate tree over table columns, evaluated adaptively per
+// segment (§5.2).
+type Filter = exec.Node
+
+// Comparison filter constructors. Column ordinals follow the table schema.
+
+// Eq matches col == v.
+func Eq(col int, v Value) Filter { return exec.NewLeaf(col, vector.Eq, v) }
+
+// Ne matches col != v.
+func Ne(col int, v Value) Filter { return exec.NewLeaf(col, vector.Ne, v) }
+
+// Lt matches col < v.
+func Lt(col int, v Value) Filter { return exec.NewLeaf(col, vector.Lt, v) }
+
+// Le matches col <= v.
+func Le(col int, v Value) Filter { return exec.NewLeaf(col, vector.Le, v) }
+
+// Gt matches col > v.
+func Gt(col int, v Value) Filter { return exec.NewLeaf(col, vector.Gt, v) }
+
+// Ge matches col >= v.
+func Ge(col int, v Value) Filter { return exec.NewLeaf(col, vector.Ge, v) }
+
+// In matches col ∈ vals.
+func In(col int, vals ...Value) Filter { return exec.NewIn(col, vals) }
+
+// And conjoins filters; clause order is re-optimized at run time (§5.2).
+func And(fs ...Filter) Filter { return exec.NewAnd(fs...) }
+
+// Or disjoins filters.
+func Or(fs ...Filter) Filter { return exec.NewOr(fs...) }
+
+// Agg describes one aggregate output column.
+type Agg = exec.AggSpec
+
+// CountAll counts matching rows.
+func CountAll() Agg { return Agg{Func: exec.Count, Col: -1} }
+
+// SumCol sums a column.
+func SumCol(col int) Agg { return Agg{Func: exec.Sum, Col: col} }
+
+// MinCol takes a column minimum.
+func MinCol(col int) Agg { return Agg{Func: exec.Min, Col: col} }
+
+// MaxCol takes a column maximum.
+func MaxCol(col int) Agg { return Agg{Func: exec.Max, Col: col} }
+
+// AvgCol averages a column.
+func AvgCol(col int) Agg { return Agg{Func: exec.Avg, Col: col} }
+
+// SumExpr sums a computed expression per row.
+func SumExpr(f func(Row) Value) Agg { return Agg{Func: exec.Sum, Expr: f} }
+
+// OrderBy describes result ordering.
+type OrderBy = exec.SortKey
+
+// Query is a fluent analytic query over one table. Execution pushes down
+// to each partition (or workspace partition) and merges partial results,
+// the way the aggregator nodes of §2 coordinate queries.
+type Query struct {
+	db        *DB
+	table     string
+	filter    Filter
+	groupCols []int
+	aggs      []Agg
+	order     []OrderBy
+	limit     int
+	workspace *cluster.Workspace
+	stats     exec.ScanStats
+}
+
+// Query starts a query against a table.
+func (db *DB) Query(table string) *Query {
+	return &Query{db: db, table: table, limit: -1}
+}
+
+// OnWorkspace routes the query to a read-only workspace's compute (§3.2).
+func (q *Query) OnWorkspace(w *Workspace) *Query {
+	q.workspace = w.ws
+	return q
+}
+
+// Where sets the filter tree.
+func (q *Query) Where(f Filter) *Query { q.filter = f; return q }
+
+// GroupBy sets the grouping columns.
+func (q *Query) GroupBy(cols ...int) *Query { q.groupCols = cols; return q }
+
+// Agg sets the aggregate outputs.
+func (q *Query) Agg(aggs ...Agg) *Query { q.aggs = aggs; return q }
+
+// OrderBy sets result ordering (applied after aggregation).
+func (q *Query) OrderBy(keys ...OrderBy) *Query { q.order = keys; return q }
+
+// Limit caps the result size.
+func (q *Query) Limit(n int) *Query { q.limit = n; return q }
+
+func (q *Query) views() ([]*core.View, error) {
+	if q.workspace != nil {
+		return q.workspace.Views(q.table)
+	}
+	return q.db.cluster.Views(q.table)
+}
+
+// Rows executes the query. Without aggregates it returns matching rows;
+// with aggregates it returns one row per group (group values first, then
+// aggregate values).
+func (q *Query) Rows() ([]Row, error) {
+	views, err := q.views()
+	if err != nil {
+		return nil, err
+	}
+	var out []Row
+	if len(q.aggs) == 0 {
+		for _, v := range views {
+			scan := exec.NewScan(v, q.filter)
+			scan.Run(func(r types.Row) bool {
+				out = append(out, r.Clone())
+				return true
+			})
+			q.stats = addStats(q.stats, scan.Stats)
+		}
+	} else {
+		out, err = q.aggregate(views)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if len(q.order) > 0 {
+		exec.SortRows(out, q.order)
+	}
+	if q.limit >= 0 {
+		out = exec.Limit(out, q.limit)
+	}
+	return out, nil
+}
+
+// Count executes the query as a row count.
+func (q *Query) Count() (int64, error) {
+	views, err := q.views()
+	if err != nil {
+		return 0, err
+	}
+	var n int64
+	for _, v := range views {
+		scan := exec.NewScan(v, q.filter)
+		n += scan.Count()
+		q.stats = addStats(q.stats, scan.Stats)
+	}
+	return n, nil
+}
+
+// Stats returns the adaptive-execution counters of the last run.
+func (q *Query) Stats() exec.ScanStats { return q.stats }
+
+// aggregate delegates to exec.AggregateViews, which merges per-partition
+// partials (decomposing Avg into Sum+Count).
+func (q *Query) aggregate(views []*core.View) ([]Row, error) {
+	var stats exec.ScanStats
+	rows := exec.AggregateViews(views, q.filter, q.groupCols, q.aggs, &stats)
+	q.stats = addStats(q.stats, stats)
+	return rows, nil
+}
+
+func addStats(a, b exec.ScanStats) exec.ScanStats {
+	a.SegmentsScanned += b.SegmentsScanned
+	a.SegmentsSkipped += b.SegmentsSkipped
+	a.IndexFilters += b.IndexFilters
+	a.EncodedFilters += b.EncodedFilters
+	a.RegularFilters += b.RegularFilters
+	a.GroupFilters += b.GroupFilters
+	a.RowsScanned += b.RowsScanned
+	a.RowsOutput += b.RowsOutput
+	a.GlobalIndexProbes += b.GlobalIndexProbes
+	a.JoinIndexFilters += b.JoinIndexFilters
+	a.JoinIndexFallbacks += b.JoinIndexFallbacks
+	return a
+}

@@ -1,0 +1,245 @@
+// Package s2db is a from-scratch Go implementation of the system described
+// in "Cloud-Native Transactions and Analytics in SingleStore" (SIGMOD
+// 2022): a distributed HTAP database with unified (universal) table
+// storage, separation of storage and compute with asynchronous blob
+// staging, adaptive query execution, synchronous in-cluster replication,
+// read-only workspaces and point-in-time restore.
+//
+// The public surface is intentionally small:
+//
+//	db, _ := s2db.Open(s2db.Config{Partitions: 4})
+//	db.CreateTable("events", schema)
+//	db.Insert("events", rows)
+//	rows, _ := db.Query("events").
+//	    Where(s2db.Gt(2, s2db.Int(100))).
+//	    GroupBy(1).
+//	    Agg(s2db.CountAll(), s2db.SumCol(2)).
+//	    Rows()
+package s2db
+
+import (
+	"fmt"
+	"time"
+
+	"s2db/internal/blob"
+	"s2db/internal/cluster"
+	"s2db/internal/core"
+	"s2db/internal/types"
+)
+
+// Re-exported value and schema types.
+type (
+	// Value is a dynamically typed cell.
+	Value = types.Value
+	// Row is a tuple of values in schema order.
+	Row = types.Row
+	// Column describes a table column.
+	Column = types.Column
+	// Schema describes a table: columns plus sort, shard, secondary and
+	// unique keys (§4 of the paper).
+	Schema = types.Schema
+	// ColType enumerates column types.
+	ColType = types.ColType
+	// InsertOptions tunes duplicate-key handling (§4.1.2).
+	InsertOptions = core.InsertOptions
+	// Where targets rows for Update and Delete.
+	Where = core.Where
+)
+
+// Column type constants.
+const (
+	Int64T   = types.Int64
+	Float64T = types.Float64
+	StringT  = types.String
+)
+
+// Duplicate-key policies (§4.1.2).
+const (
+	DupError   = core.DupError
+	DupSkip    = core.DupSkip
+	DupReplace = core.DupReplace
+	DupUpdate  = core.DupUpdate
+)
+
+// ErrDuplicateKey is returned by inserts violating a unique key.
+var ErrDuplicateKey = core.ErrDuplicateKey
+
+// Int builds an Int64 value.
+func Int(v int64) Value { return types.NewInt(v) }
+
+// Float builds a Float64 value.
+func Float(v float64) Value { return types.NewFloat(v) }
+
+// Str builds a String value.
+func Str(v string) Value { return types.NewString(v) }
+
+// NewSchema builds a schema with no keys configured.
+func NewSchema(cols ...Column) *Schema { return types.NewSchema(cols...) }
+
+// Config configures a database.
+type Config struct {
+	// Name is the database name (namespace in blob storage).
+	Name string
+	// Partitions is the number of hash partitions (§2).
+	Partitions int
+	// SyncReplicas per partition ack commits for durability (§2).
+	SyncReplicas int
+	// BlobStore enables separated storage (§3); nil runs shared-nothing.
+	BlobStore BlobStore
+	// BlobPutLatency/BlobGetLatency inject simulated object-store latency.
+	BlobPutLatency, BlobGetLatency time.Duration
+	// CacheBytes bounds the per-partition local data-file cache.
+	CacheBytes int
+	// CommitToBlob forces the cloud-data-warehouse commit path (used by
+	// the ablation experiments; S2DB's design keeps it off).
+	CommitToBlob bool
+	// ReplicationLatency simulates the intra-cluster network.
+	ReplicationLatency time.Duration
+	// MaxSegmentRows tunes columnstore segment sizing.
+	MaxSegmentRows int
+	// BackgroundMaintenance runs the flusher and merger automatically.
+	BackgroundMaintenance bool
+}
+
+// BlobStore is the object-store contract (see internal/blob).
+type BlobStore = blob.Store
+
+// NewMemoryBlobStore returns an in-memory blob store for experiments.
+func NewMemoryBlobStore() BlobStore { return blob.NewMemory() }
+
+// NewDiskBlobStore returns a directory-backed blob store whose contents
+// survive the process.
+func NewDiskBlobStore(dir string) (BlobStore, error) { return blob.NewDisk(dir) }
+
+// DB is a running database.
+type DB struct {
+	cluster *cluster.Cluster
+	cfg     Config
+}
+
+// Open creates and starts a database.
+func Open(cfg Config) (*DB, error) {
+	var store blob.Store
+	if cfg.BlobStore != nil {
+		store = blob.NewSimulator(cfg.BlobStore, cfg.BlobPutLatency, cfg.BlobGetLatency)
+	}
+	mode := cluster.CommitLocal
+	if cfg.CommitToBlob {
+		mode = cluster.CommitBlob
+	}
+	c, err := cluster.New(cluster.Config{
+		Name:               cfg.Name,
+		Partitions:         cfg.Partitions,
+		SyncReplicas:       cfg.SyncReplicas,
+		Blob:               store,
+		CacheBytes:         cfg.CacheBytes,
+		CommitMode:         mode,
+		ReplicationLatency: cfg.ReplicationLatency,
+		Table: core.Config{
+			MaxSegmentRows: cfg.MaxSegmentRows,
+			Background:     cfg.BackgroundMaintenance,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &DB{cluster: c, cfg: cfg}, nil
+}
+
+// Close stops the database.
+func (db *DB) Close() { db.cluster.Close() }
+
+// Cluster exposes the underlying cluster for advanced operations
+// (workspaces, failover, PITR, staging stats).
+func (db *DB) Cluster() *cluster.Cluster { return db.cluster }
+
+// CreateTable registers a table on every partition.
+func (db *DB) CreateTable(name string, schema *Schema) error {
+	return db.cluster.CreateTable(name, schema)
+}
+
+// Insert writes rows with default options and waits for durability.
+func (db *DB) Insert(table string, rows ...Row) error {
+	_, err := db.cluster.Insert(table, rows, core.InsertOptions{})
+	return err
+}
+
+// InsertWith writes rows under an explicit duplicate-key policy.
+func (db *DB) InsertWith(table string, opts InsertOptions, rows ...Row) (core.InsertResult, error) {
+	return db.cluster.Insert(table, rows, opts)
+}
+
+// BulkLoad ingests rows directly into columnstore segments.
+func (db *DB) BulkLoad(table string, rows []Row) error {
+	return db.cluster.BulkLoad(table, rows)
+}
+
+// Get returns the row with the given unique key values.
+func (db *DB) Get(table string, keyVals ...Value) (Row, bool, error) {
+	return db.cluster.GetByUnique(table, keyVals)
+}
+
+// Update rewrites matching rows via set.
+func (db *DB) Update(table string, w Where, set func(Row) Row) (int, error) {
+	return db.cluster.UpdateWhere(table, w, set)
+}
+
+// Delete removes matching rows.
+func (db *DB) Delete(table string, w Where) (int, error) {
+	return db.cluster.DeleteWhere(table, w)
+}
+
+// Flush forces buffered rows into columnstore segments on every partition.
+func (db *DB) Flush(table string) error { return db.cluster.Flush(table) }
+
+// CreateWorkspace provisions an isolated read-only workspace (§3.2).
+func (db *DB) CreateWorkspace(name string) (*Workspace, error) {
+	ws, err := db.cluster.CreateWorkspace(name)
+	if err != nil {
+		return nil, err
+	}
+	return &Workspace{db: db, ws: ws}, nil
+}
+
+// Workspace is a handle to a read-only workspace.
+type Workspace struct {
+	db *DB
+	ws *cluster.Workspace
+}
+
+// WaitCaughtUp blocks until the workspace has replayed the primary's log.
+func (w *Workspace) WaitCaughtUp(timeout time.Duration) error {
+	return w.db.cluster.WaitCaughtUp(w.ws, timeout)
+}
+
+// Lag reports pending replication records.
+func (w *Workspace) Lag() int { return w.ws.Lag() }
+
+// Detach removes the workspace.
+func (w *Workspace) Detach() error { return w.db.cluster.DetachWorkspace(w.ws.Name) }
+
+// PointInTimeRestore opens a database restored purely from blob storage as
+// of the target wall-clock time (§3.2): no backups are needed — the blob
+// store's retained history is the backup. The catalog supplies the table
+// schemas (DDL lives in the control plane, not in blob data). The returned
+// DB serves queries on the restored state.
+func PointInTimeRestore(cfg Config, catalog map[string]*Schema, target time.Time) (*DB, error) {
+	if cfg.BlobStore == nil {
+		return nil, fmt.Errorf("s2db: point-in-time restore requires a blob store")
+	}
+	c, err := cluster.PointInTimeRestore(cluster.Config{
+		Name:       cfg.Name,
+		Partitions: cfg.Partitions,
+		Blob:       cfg.BlobStore,
+		CacheBytes: cfg.CacheBytes,
+		Table:      core.Config{MaxSegmentRows: cfg.MaxSegmentRows},
+	}, target)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.RestoreTables(catalog, target); err != nil {
+		c.Close()
+		return nil, err
+	}
+	return &DB{cluster: c, cfg: cfg}, nil
+}
