@@ -1,0 +1,21 @@
+# Tier-1 gate: every change must pass `make check` — build, vet, and the
+# full test suite under the race detector (the parallel fan-out scheduler
+# runs on every query, so -race is part of the gate, not an extra).
+.PHONY: check build vet test race bench
+
+check: build vet race
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+bench:
+	go test -bench=. -benchmem

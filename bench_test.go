@@ -16,6 +16,8 @@ import (
 	"testing"
 	"time"
 
+	"s2db"
+
 	"s2db/internal/baseline"
 	"s2db/internal/blob"
 	"s2db/internal/cluster"
@@ -598,4 +600,132 @@ func BenchmarkUnifiedPointReadVsScan(b *testing.B) {
 			s.Count()
 		}
 	})
+}
+
+// BenchmarkParallelFanout measures the partition fan-out scheduler: a
+// grouped aggregate over the public query API as Partitions grows, with
+// the worker pool disabled (seq, Parallelism 1) and enabled (par, one
+// worker per partition). The reproduction target is throughput scaling
+// with the partition count (§2: aggregators run query fragments on all
+// leaf partitions in parallel).
+func BenchmarkParallelFanout(b *testing.B) {
+	const rowsPerPart = 100000
+	for _, parts := range []int{1, 2, 4, 8} {
+		db, err := s2db.Open(s2db.Config{Partitions: parts})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer db.Close()
+		schema := s2db.NewSchema(
+			types.Column{Name: "id", Type: types.Int64},
+			types.Column{Name: "kind", Type: types.String},
+			types.Column{Name: "amount", Type: types.Int64},
+		)
+		schema.ShardKey = []int{0}
+		if err := db.CreateTable("t", schema); err != nil {
+			b.Fatal(err)
+		}
+		n := parts * rowsPerPart
+		batch := make([]s2db.Row, 0, 10000)
+		for i := 0; i < n; i++ {
+			batch = append(batch, s2db.Row{
+				s2db.Int(int64(i)),
+				s2db.Str(fmt.Sprintf("k%d", i%16)),
+				s2db.Int(int64(i % 1000)),
+			})
+			if len(batch) == cap(batch) || i == n-1 {
+				if err := db.BulkLoad("t", batch); err != nil {
+					b.Fatal(err)
+				}
+				batch = batch[:0]
+			}
+		}
+		run := func(b *testing.B, parallelism int) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rows, err := db.Query("t").
+					Where(s2db.GtName("amount", s2db.Int(100))).
+					GroupByNames("kind").
+					Agg(s2db.CountAll(), s2db.SumName("amount")).
+					Parallelism(parallelism).
+					Rows()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(rows) != 16 {
+					b.Fatalf("groups = %d", len(rows))
+				}
+			}
+			b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mrows/s")
+		}
+		b.Run(fmt.Sprintf("parts=%d/seq", parts), func(b *testing.B) { run(b, 1) })
+		b.Run(fmt.Sprintf("parts=%d/par", parts), func(b *testing.B) { run(b, parts) })
+	}
+}
+
+// BenchmarkParallelFanoutSimIO isolates what the fan-out scheduler buys in
+// the separated-storage deployment (§3): each segment read is throttled by
+// a simulated object-store latency (exec.Throttle, the scan-side analogue
+// of the blob simulator), so wall-clock time is dominated by stalls that
+// concurrent partition scans overlap. Unlike the CPU-bound variant above,
+// the speedup here does not depend on GOMAXPROCS.
+func BenchmarkParallelFanoutSimIO(b *testing.B) {
+	const (
+		parts        = 8
+		rowsPerPart  = 20000
+		segRows      = 5000
+		leafLatency  = time.Millisecond
+		expectGroups = 16
+	)
+	db, err := s2db.Open(s2db.Config{Partitions: parts, MaxSegmentRows: segRows})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	schema := s2db.NewSchema(
+		types.Column{Name: "id", Type: types.Int64},
+		types.Column{Name: "kind", Type: types.String},
+		types.Column{Name: "amount", Type: types.Int64},
+	)
+	schema.ShardKey = []int{0}
+	if err := db.CreateTable("t", schema); err != nil {
+		b.Fatal(err)
+	}
+	n := parts * rowsPerPart
+	batch := make([]s2db.Row, 0, segRows)
+	for i := 0; i < n; i++ {
+		batch = append(batch, s2db.Row{
+			s2db.Int(int64(i)),
+			s2db.Str(fmt.Sprintf("k%d", i%expectGroups)),
+			s2db.Int(int64(i % 1000)),
+		})
+		if len(batch) == cap(batch) || i == n-1 {
+			if err := db.BulkLoad("t", batch); err != nil {
+				b.Fatal(err)
+			}
+			batch = batch[:0]
+		}
+	}
+	filter := func() s2db.Filter {
+		return exec.NewThrottle(s2db.GtName("amount", s2db.Int(100)), leafLatency)
+	}
+	for _, par := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("parallelism=%d", par), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rows, err := db.Query("t").
+					Where(filter()).
+					GroupByNames("kind").
+					Agg(s2db.CountAll(), s2db.SumName("amount")).
+					Parallelism(par).
+					Rows()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(rows) != expectGroups {
+					b.Fatalf("groups = %d", len(rows))
+				}
+			}
+			b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mrows/s")
+		})
+	}
 }

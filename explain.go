@@ -1,0 +1,123 @@
+package s2db
+
+import (
+	"fmt"
+	"strings"
+
+	"s2db/internal/exec"
+)
+
+// Plan is a structured summary of how a query will execute: the leaf
+// views it fans out to, the worker-pool width, and the resolved predicate
+// and output shape. Strategies carries the per-segment filter-strategy
+// counters of the last completed run (zero until the query has executed),
+// replacing ad-hoc inspection of Stats().
+type Plan struct {
+	// Table is the queried table.
+	Table string
+	// Workspace names the read-only workspace serving the query; empty
+	// means the primary cluster.
+	Workspace string
+	// Partitions is the number of leaf views the query fans out to.
+	Partitions int
+	// Parallelism is the worker-pool bound for concurrent partition scans.
+	Parallelism int
+	// Filter is the resolved predicate tree rendered with column names;
+	// empty means a full scan.
+	Filter string
+	// GroupBy lists the grouping columns by name.
+	GroupBy []string
+	// Aggregates lists the aggregate outputs (e.g. "sum(amount)").
+	Aggregates []string
+	// OrderBy lists the sort keys (e.g. "region desc").
+	OrderBy []string
+	// Limit is the result cap, or -1 for none.
+	Limit int
+	// EarlyLimit reports whether partition scans terminate early once the
+	// limit is satisfied (possible only without grouping or ordering).
+	EarlyLimit bool
+	// Strategies snapshots the adaptive per-segment execution counters of
+	// the last completed run: which segments were skipped via index/zone
+	// maps and which filter strategy (index, encoded, regular, group) each
+	// surviving segment chose (§5.1, §5.2).
+	Strategies exec.ScanStats
+}
+
+// Explain resolves the query — snapshotting targets and binding every
+// name-based reference — and returns its execution plan without running
+// it. Resolution errors (unknown columns, out-of-range ordinals) surface
+// here exactly as they would at execution.
+func (q *Query) Explain() (Plan, error) {
+	r, err := q.resolve()
+	if err != nil {
+		return Plan{}, err
+	}
+	p := Plan{
+		Table:       q.table,
+		Partitions:  len(r.targets),
+		Parallelism: r.parallelism,
+		Filter:      exec.FormatNode(r.filter, r.schema),
+		Limit:       q.limit,
+		EarlyLimit:  r.earlyLimit >= 0,
+		Strategies:  q.Stats(),
+	}
+	if q.workspace != nil {
+		p.Workspace = q.workspace.Name
+	}
+	for _, c := range r.groupCols {
+		p.GroupBy = append(p.GroupBy, r.schema.Columns[c].Name)
+	}
+	for _, a := range r.aggs {
+		p.Aggregates = append(p.Aggregates, exec.FormatAgg(a, r.schema))
+	}
+	for _, k := range r.order {
+		name := fmt.Sprintf("col%d", k.Col)
+		if len(r.aggs) == 0 {
+			name = r.schema.Columns[k.Col].Name
+		} else if k.Col < len(r.groupCols) {
+			name = r.schema.Columns[r.groupCols[k.Col]].Name
+		}
+		if k.Desc {
+			name += " desc"
+		}
+		p.OrderBy = append(p.OrderBy, name)
+	}
+	return p, nil
+}
+
+// String renders the plan for humans, one clause per line.
+func (p Plan) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "scan %s", p.Table)
+	if p.Workspace != "" {
+		fmt.Fprintf(&b, " on workspace %s", p.Workspace)
+	}
+	fmt.Fprintf(&b, " across %d partition(s), parallelism %d\n", p.Partitions, p.Parallelism)
+	if p.Filter != "" {
+		fmt.Fprintf(&b, "  where   %s\n", p.Filter)
+	}
+	if len(p.GroupBy) > 0 {
+		fmt.Fprintf(&b, "  group   %s\n", strings.Join(p.GroupBy, ", "))
+	}
+	if len(p.Aggregates) > 0 {
+		fmt.Fprintf(&b, "  agg     %s\n", strings.Join(p.Aggregates, ", "))
+	}
+	if len(p.OrderBy) > 0 {
+		fmt.Fprintf(&b, "  order   %s\n", strings.Join(p.OrderBy, ", "))
+	}
+	if p.Limit >= 0 {
+		fmt.Fprintf(&b, "  limit   %d", p.Limit)
+		if p.EarlyLimit {
+			b.WriteString(" (early termination)")
+		}
+		b.WriteString("\n")
+	}
+	s := p.Strategies
+	if s.SegmentsScanned+s.SegmentsSkipped > 0 {
+		fmt.Fprintf(&b, "  last run: %d/%d segments scanned (%d skipped); filters: %d index, %d encoded, %d regular, %d group; %d/%d rows\n",
+			s.SegmentsScanned, s.SegmentsScanned+s.SegmentsSkipped, s.SegmentsSkipped,
+			s.IndexFilters, s.EncodedFilters, s.RegularFilters, s.GroupFilters,
+			s.RowsOutput, s.RowsScanned)
+	}
+	return b.String()
+}

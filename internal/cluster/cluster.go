@@ -335,16 +335,40 @@ func (c *Cluster) DeleteWhere(table string, w core.Where) (int, error) {
 	return total, nil
 }
 
-// Views returns one consistent per-partition snapshot per master (§2.1.2:
-// partition-local snapshot isolation).
-func (c *Cluster) Views(table string) ([]*core.View, error) {
-	views := make([]*core.View, 0, c.cfg.Partitions)
+// LeafTarget is one partition-local execution site of a fanned-out query:
+// the scan over View logically runs "on" leaf partition Partition, the way
+// aggregator nodes ship query fragments to leaves (§2). Both the primary
+// cluster and read-only workspaces hand out targets with the same shape,
+// so the scheduler fans out identically over either.
+type LeafTarget struct {
+	Partition int
+	View      *core.View
+}
+
+// QueryTargets returns one consistent per-partition snapshot per master
+// (§2.1.2: partition-local snapshot isolation), each tagged with the leaf
+// partition it executes on.
+func (c *Cluster) QueryTargets(table string) ([]LeafTarget, error) {
+	targets := make([]LeafTarget, 0, c.cfg.Partitions)
 	for pi := 0; pi < c.cfg.Partitions; pi++ {
 		tbl, err := c.Master(pi).Table(table)
 		if err != nil {
 			return nil, err
 		}
-		views = append(views, tbl.Snapshot())
+		targets = append(targets, LeafTarget{Partition: pi, View: tbl.Snapshot()})
+	}
+	return targets, nil
+}
+
+// Views returns the per-partition snapshots without partition tags.
+func (c *Cluster) Views(table string) ([]*core.View, error) {
+	targets, err := c.QueryTargets(table)
+	if err != nil {
+		return nil, err
+	}
+	views := make([]*core.View, len(targets))
+	for i, t := range targets {
+		views[i] = t.View
 	}
 	return views, nil
 }

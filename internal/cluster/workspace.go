@@ -127,16 +127,31 @@ func decodeChunk(store interface {
 	return wal.DecodeRecords(data)
 }
 
-// Views returns per-partition snapshots of a table on the workspace's
-// isolated compute.
-func (w *Workspace) Views(table string) ([]*core.View, error) {
-	views := make([]*core.View, 0, len(w.parts))
-	for _, p := range w.parts {
+// QueryTargets returns per-partition snapshots of a table on the
+// workspace's isolated compute, tagged with their leaf partitions —
+// workspace queries fan out exactly like primary-cluster queries (§3.2).
+func (w *Workspace) QueryTargets(table string) ([]LeafTarget, error) {
+	targets := make([]LeafTarget, 0, len(w.parts))
+	for pi, p := range w.parts {
 		tbl, err := p.Table(table)
 		if err != nil {
 			return nil, err
 		}
-		views = append(views, tbl.Snapshot())
+		targets = append(targets, LeafTarget{Partition: pi, View: tbl.Snapshot()})
+	}
+	return targets, nil
+}
+
+// Views returns the workspace's per-partition snapshots without partition
+// tags.
+func (w *Workspace) Views(table string) ([]*core.View, error) {
+	targets, err := w.QueryTargets(table)
+	if err != nil {
+		return nil, err
+	}
+	views := make([]*core.View, len(targets))
+	for i, t := range targets {
+		views[i] = t.View
 	}
 	return views, nil
 }

@@ -10,6 +10,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -329,6 +330,10 @@ func (t *Table) SnapshotAt(ts uint64) *View {
 		}
 	}
 	t.segMu.RUnlock()
+	// Segment order must be stable across snapshots (t.segs is a map):
+	// scans emit rows in segment order, and query results are only
+	// deterministic if every snapshot sees the same order.
+	sort.Slice(segs, func(i, j int) bool { return segs[i].Seg.ID < segs[j].Seg.ID })
 	return &View{TS: ts, Schema: t.schema, Segs: segs, table: t}
 }
 

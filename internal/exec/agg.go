@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"fmt"
 	"math"
 	"sort"
 
@@ -21,13 +22,33 @@ const (
 	Avg
 )
 
+// String returns the SQL-ish name of the aggregate function.
+func (f AggFunc) String() string {
+	switch f {
+	case Count:
+		return "count"
+	case Sum:
+		return "sum"
+	case Min:
+		return "min"
+	case Max:
+		return "max"
+	case Avg:
+		return "avg"
+	}
+	return fmt.Sprintf("AggFunc(%d)", uint8(f))
+}
+
 // AggSpec is one aggregate output: either over a plain column (Col) or a
 // computed expression (Expr takes precedence when set). Computed
 // expressions cover forms like sum(extendedprice * (1 - discount)).
 type AggSpec struct {
 	Func AggFunc
 	Col  int
-	Expr func(r types.Row) types.Value
+	// ColName, when non-empty, names the column instead of Col; it is
+	// resolved against the table schema at execution time (ResolveAggSpecs).
+	ColName string
+	Expr    func(r types.Row) types.Value
 	// ExprCols lists the columns Expr reads, enabling projection pushdown
 	// in the general aggregation path; nil means "unknown" (materialize
 	// every column).
@@ -134,6 +155,9 @@ func Aggregate(view *core.View, filter Node, groupCols []int, aggs []AggSpec, sc
 		states []aggState
 	}
 	groups := map[string]*group{}
+	// order tracks first-seen group keys so the output is deterministic for
+	// a given view (scan order is deterministic: buffer, then segments).
+	var order []*group
 	var keyBuf []byte
 	touch := func(key types.Row) *group {
 		keyBuf = types.EncodeKey(keyBuf[:0], key...)
@@ -141,6 +165,7 @@ func Aggregate(view *core.View, filter Node, groupCols []int, aggs []AggSpec, sc
 		if !ok {
 			g = &group{key: key.Clone(), states: make([]aggState, len(aggs))}
 			groups[string(keyBuf)] = g
+			order = append(order, g)
 		}
 		return g
 	}
@@ -251,8 +276,8 @@ func Aggregate(view *core.View, filter Node, groupCols []int, aggs []AggSpec, sc
 		}
 	})
 
-	out := make([]types.Row, 0, len(groups))
-	for _, g := range groups {
+	out := make([]types.Row, 0, len(order))
+	for _, g := range order {
 		row := make(types.Row, 0, len(groupCols)+len(aggs))
 		row = append(row, g.key...)
 		for ai, a := range aggs {
@@ -338,9 +363,12 @@ func aggProjection(groupCols []int, aggs []AggSpec) []int {
 	return out
 }
 
-// SortKey orders result rows.
+// SortKey orders result rows. Name, when non-empty, references the column
+// by name and is resolved against the table schema (or the group-by output
+// columns, for aggregate queries) at execution time.
 type SortKey struct {
 	Col  int
+	Name string
 	Desc bool
 }
 

@@ -1,0 +1,195 @@
+// Parallel partition fan-out: the aggregator side of §2/§5 runs one scan
+// task per leaf partition concurrently on a bounded worker pool and merges
+// the partial results (rows, counts, or partial aggregate tables) in
+// deterministic view order. Each task gets its own filter-tree clone (the
+// adaptive nodes carry mutable statistics) and its own ScanStats; the
+// coordinator folds stats only after the pool joins, so the whole path is
+// race-free under `go test -race`.
+package exec
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"s2db/internal/core"
+	"s2db/internal/types"
+)
+
+// DefaultParallelism resolves a worker-pool size: n when positive,
+// otherwise GOMAXPROCS.
+func DefaultParallelism(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// runTasks executes fn(0..n-1) on at most parallelism workers. Workers stop
+// claiming new tasks once ctx is done; the error is ctx.Err() in that case.
+// In-flight tasks are responsible for observing ctx themselves (scans poll
+// it via Scan.Cancel).
+func runTasks(ctx context.Context, n, parallelism int, fn func(i int)) error {
+	if n == 0 {
+		return ctx.Err()
+	}
+	if parallelism > n {
+		parallelism = n
+	}
+	if parallelism < 1 {
+		parallelism = 1
+	}
+	if parallelism == 1 {
+		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			fn(i)
+		}
+		return ctx.Err()
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return ctx.Err()
+}
+
+// cancelledScan wires a context into a Scan's cancellation hook.
+func cancelledScan(ctx context.Context, view *core.View, filter Node) *Scan {
+	s := NewScan(view, filter)
+	s.Cancel = func() bool { return ctx.Err() != nil }
+	return s
+}
+
+// AggregateViewsParallel is the fan-out counterpart of AggregateViews: one
+// partial aggregation per view runs on the worker pool, then partials merge
+// in view order (deterministic, identical to the sequential result). A
+// cancelled ctx aborts in-flight scans and returns ctx.Err().
+func AggregateViewsParallel(ctx context.Context, views []*core.View, filter Node, groupCols []int, aggs []AggSpec, parallelism int, stats *ScanStats) ([]types.Row, error) {
+	p := newAggPlan(groupCols, aggs)
+	partials := make([][]types.Row, len(views))
+	perStats := make([]ScanStats, len(views))
+	err := runTasks(ctx, len(views), DefaultParallelism(parallelism), func(i int) {
+		f := CloneNode(filter)
+		scan := cancelledScan(ctx, views[i], f)
+		partials[i] = p.partial(views[i], f, scan)
+		perStats[i] = scan.Stats
+	})
+	if err != nil {
+		return nil, err
+	}
+	if stats != nil {
+		for i := range perStats {
+			accumulate(stats, perStats[i])
+		}
+	}
+	return p.mergeFinalize(partials), nil
+}
+
+// CollectRows materializes matching rows from every view concurrently,
+// concatenating per-view results in view order so the output matches the
+// sequential scan exactly. earlyLimit >= 0 enables early termination for
+// Limit queries with no ordering or grouping: each view stops after
+// earlyLimit rows, and once a completed prefix of views already holds
+// earlyLimit rows the trailing scans are cancelled (their rows cannot make
+// the result).
+func CollectRows(ctx context.Context, views []*core.View, filter Node, earlyLimit int, parallelism int, stats *ScanStats) ([]types.Row, error) {
+	if earlyLimit == 0 {
+		return nil, ctx.Err()
+	}
+	sub, cancel := context.WithCancel(ctx)
+	defer cancel()
+	perView := make([][]types.Row, len(views))
+	perStats := make([]ScanStats, len(views))
+	var mu sync.Mutex
+	done := make([]bool, len(views))
+	// prefixSatisfied cancels trailing scans once views 0..k are all done
+	// and together hold earlyLimit rows. Called with mu held.
+	prefixSatisfied := func() {
+		if earlyLimit < 0 {
+			return
+		}
+		total := 0
+		for i := range views {
+			if !done[i] {
+				return
+			}
+			total += len(perView[i])
+			if total >= earlyLimit {
+				cancel()
+				return
+			}
+		}
+	}
+	err := runTasks(sub, len(views), DefaultParallelism(parallelism), func(i int) {
+		scan := cancelledScan(sub, views[i], CloneNode(filter))
+		var out []types.Row
+		scan.Run(func(r types.Row) bool {
+			out = append(out, r.Clone())
+			return earlyLimit < 0 || len(out) < earlyLimit
+		})
+		mu.Lock()
+		perView[i] = out
+		perStats[i] = scan.Stats
+		done[i] = true
+		prefixSatisfied()
+		mu.Unlock()
+	})
+	// Early-limit cancellation is success; only the caller's ctx is an error.
+	if err != nil && ctx.Err() != nil {
+		return nil, ctx.Err()
+	}
+	var out []types.Row
+	for i := range perView {
+		out = append(out, perView[i]...)
+		if earlyLimit >= 0 && len(out) >= earlyLimit {
+			out = out[:earlyLimit]
+			break
+		}
+	}
+	if stats != nil {
+		for i := range perStats {
+			accumulate(stats, perStats[i])
+		}
+	}
+	return out, nil
+}
+
+// CountViews counts matching rows across views on the worker pool. The sum
+// is order-independent, so no merge ordering is needed.
+func CountViews(ctx context.Context, views []*core.View, filter Node, parallelism int, stats *ScanStats) (int64, error) {
+	perCount := make([]int64, len(views))
+	perStats := make([]ScanStats, len(views))
+	err := runTasks(ctx, len(views), DefaultParallelism(parallelism), func(i int) {
+		scan := cancelledScan(ctx, views[i], CloneNode(filter))
+		perCount[i] = scan.Count()
+		perStats[i] = scan.Stats
+	})
+	if err != nil {
+		return 0, err
+	}
+	var n int64
+	for i := range perCount {
+		n += perCount[i]
+	}
+	if stats != nil {
+		for i := range perStats {
+			accumulate(stats, perStats[i])
+		}
+	}
+	return n, nil
+}

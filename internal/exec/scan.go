@@ -30,6 +30,11 @@ type Scan struct {
 	// Project lists the only columns Run must materialize (nil = all) —
 	// late materialization's projection pushdown.
 	Project []int
+	// Cancel, when non-nil, is polled between segments (and periodically
+	// inside buffer scans); a true return aborts the scan. The parallel
+	// scheduler wires this to a context so in-flight partition scans stop
+	// promptly on cancellation.
+	Cancel func() bool
 }
 
 // NewScan builds a scan over a view.
@@ -161,6 +166,9 @@ func (s *Scan) candidateSegments() []int {
 // are shared with f, so aggregations reuse the filter's column decodes.
 func (s *Scan) RunSegments(f func(ctx *SegContext, sel []int32)) {
 	for _, si := range s.candidateSegments() {
+		if s.Cancel != nil && s.Cancel() {
+			return
+		}
 		meta := s.View.Segs[si]
 		s.Stats.SegmentsScanned++
 		s.Stats.RowsScanned += int64(meta.Seg.NumRows)
@@ -189,23 +197,23 @@ func (s *Scan) RunSegments(f func(ctx *SegContext, sel []int32)) {
 
 // RunBuffer evaluates the filter over the in-memory buffer rows.
 func (s *Scan) RunBuffer(f func(r types.Row) bool) {
-	if s.BufferFrom != nil || s.BufferTo != nil {
-		s.View.ScanBufferRange(s.BufferFrom, s.BufferTo, func(r types.Row) bool {
-			if s.Filter == nil || s.Filter.EvalRow(r) {
-				s.Stats.RowsOutput++
-				return f(r)
-			}
-			return true
-		})
-		return
-	}
-	s.View.ScanBuffer(func(r types.Row) bool {
+	var seen int
+	visit := func(r types.Row) bool {
+		seen++
+		if s.Cancel != nil && seen&1023 == 0 && s.Cancel() {
+			return false
+		}
 		if s.Filter == nil || s.Filter.EvalRow(r) {
 			s.Stats.RowsOutput++
 			return f(r)
 		}
 		return true
-	})
+	}
+	if s.BufferFrom != nil || s.BufferTo != nil {
+		s.View.ScanBufferRange(s.BufferFrom, s.BufferTo, visit)
+		return
+	}
+	s.View.ScanBuffer(visit)
 }
 
 // Run materializes every matching row (buffer and segments). The emitted

@@ -1,6 +1,8 @@
 package tpch
 
 import (
+	"context"
+
 	"s2db/internal/baseline"
 	"s2db/internal/cluster"
 	"s2db/internal/core"
@@ -71,13 +73,14 @@ func (e *S2Engine) Scan(table string, filter exec.Node, cols []int, emit func(ty
 	return nil
 }
 
-// Aggregate implements Engine with per-partition partials merged centrally.
+// Aggregate implements Engine with per-partition partials computed on the
+// parallel fan-out scheduler and merged centrally.
 func (e *S2Engine) Aggregate(table string, filter exec.Node, groupCols []int, aggs []exec.AggSpec) ([]types.Row, error) {
 	views, err := e.views(table)
 	if err != nil {
 		return nil, err
 	}
-	return exec.AggregateViews(views, filter, groupCols, aggs, nil), nil
+	return exec.AggregateViewsParallel(context.Background(), views, filter, groupCols, aggs, 0, nil)
 }
 
 // Join implements Engine with the adaptive join index filter (§5.1).

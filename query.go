@@ -1,6 +1,10 @@
 package s2db
 
 import (
+	"context"
+	"fmt"
+	"sync"
+
 	"s2db/internal/cluster"
 	"s2db/internal/core"
 	"s2db/internal/exec"
@@ -12,7 +16,9 @@ import (
 // segment (§5.2).
 type Filter = exec.Node
 
-// Comparison filter constructors. Column ordinals follow the table schema.
+// Comparison filter constructors. Column ordinals follow the table schema;
+// the *Name variants reference columns by name and resolve against the
+// schema when the query executes.
 
 // Eq matches col == v.
 func Eq(col int, v Value) Filter { return exec.NewLeaf(col, vector.Eq, v) }
@@ -34,6 +40,27 @@ func Ge(col int, v Value) Filter { return exec.NewLeaf(col, vector.Ge, v) }
 
 // In matches col ∈ vals.
 func In(col int, vals ...Value) Filter { return exec.NewIn(col, vals) }
+
+// EqName matches the named column == v.
+func EqName(col string, v Value) Filter { return exec.NewNamedLeaf(col, vector.Eq, v) }
+
+// NeName matches the named column != v.
+func NeName(col string, v Value) Filter { return exec.NewNamedLeaf(col, vector.Ne, v) }
+
+// LtName matches the named column < v.
+func LtName(col string, v Value) Filter { return exec.NewNamedLeaf(col, vector.Lt, v) }
+
+// LeName matches the named column <= v.
+func LeName(col string, v Value) Filter { return exec.NewNamedLeaf(col, vector.Le, v) }
+
+// GtName matches the named column > v.
+func GtName(col string, v Value) Filter { return exec.NewNamedLeaf(col, vector.Gt, v) }
+
+// GeName matches the named column >= v.
+func GeName(col string, v Value) Filter { return exec.NewNamedLeaf(col, vector.Ge, v) }
+
+// InName matches the named column ∈ vals.
+func InName(col string, vals ...Value) Filter { return exec.NewNamedIn(col, vals) }
 
 // And conjoins filters; clause order is re-optimized at run time (§5.2).
 func And(fs ...Filter) Filter { return exec.NewAnd(fs...) }
@@ -59,25 +86,56 @@ func MaxCol(col int) Agg { return Agg{Func: exec.Max, Col: col} }
 // AvgCol averages a column.
 func AvgCol(col int) Agg { return Agg{Func: exec.Avg, Col: col} }
 
+// SumName sums the named column.
+func SumName(col string) Agg { return Agg{Func: exec.Sum, ColName: col} }
+
+// MinName takes the named column's minimum.
+func MinName(col string) Agg { return Agg{Func: exec.Min, ColName: col} }
+
+// MaxName takes the named column's maximum.
+func MaxName(col string) Agg { return Agg{Func: exec.Max, ColName: col} }
+
+// AvgName averages the named column.
+func AvgName(col string) Agg { return Agg{Func: exec.Avg, ColName: col} }
+
 // SumExpr sums a computed expression per row.
 func SumExpr(f func(Row) Value) Agg { return Agg{Func: exec.Sum, Expr: f} }
 
 // OrderBy describes result ordering.
 type OrderBy = exec.SortKey
 
-// Query is a fluent analytic query over one table. Execution pushes down
-// to each partition (or workspace partition) and merges partial results,
-// the way the aggregator nodes of §2 coordinate queries.
+// Asc orders ascending by the named column.
+func Asc(col string) OrderBy { return OrderBy{Name: col} }
+
+// Desc orders descending by the named column.
+func Desc(col string) OrderBy { return OrderBy{Name: col, Desc: true} }
+
+// groupKey is one GROUP BY column, by ordinal or (when name is non-empty)
+// by name resolved at execution.
+type groupKey struct {
+	ord  int
+	name string
+}
+
+// Query is a fluent analytic query over one table. Execution fans one scan
+// task per leaf partition onto a bounded worker pool and merges partial
+// results in deterministic partition order — the way the aggregator nodes
+// of §2 coordinate queries. Rows/Count run under context.Background();
+// RowsCtx/CountCtx accept a context whose cancellation aborts in-flight
+// partition scans.
 type Query struct {
-	db        *DB
-	table     string
-	filter    Filter
-	groupCols []int
-	aggs      []Agg
-	order     []OrderBy
-	limit     int
-	workspace *cluster.Workspace
-	stats     exec.ScanStats
+	db          *DB
+	table       string
+	filter      Filter
+	groups      []groupKey
+	aggs        []Agg
+	order       []OrderBy
+	limit       int
+	workspace   *cluster.Workspace
+	parallelism int
+
+	mu    sync.Mutex
+	stats exec.ScanStats
 }
 
 // Query starts a query against a table.
@@ -94,8 +152,21 @@ func (q *Query) OnWorkspace(w *Workspace) *Query {
 // Where sets the filter tree.
 func (q *Query) Where(f Filter) *Query { q.filter = f; return q }
 
-// GroupBy sets the grouping columns.
-func (q *Query) GroupBy(cols ...int) *Query { q.groupCols = cols; return q }
+// GroupBy appends grouping columns by ordinal.
+func (q *Query) GroupBy(cols ...int) *Query {
+	for _, c := range cols {
+		q.groups = append(q.groups, groupKey{ord: c})
+	}
+	return q
+}
+
+// GroupByNames appends grouping columns by name (resolved at execution).
+func (q *Query) GroupByNames(cols ...string) *Query {
+	for _, c := range cols {
+		q.groups = append(q.groups, groupKey{ord: -1, name: c})
+	}
+	return q
+}
 
 // Agg sets the aggregate outputs.
 func (q *Query) Agg(aggs ...Agg) *Query { q.aggs = aggs; return q }
@@ -106,84 +177,192 @@ func (q *Query) OrderBy(keys ...OrderBy) *Query { q.order = keys; return q }
 // Limit caps the result size.
 func (q *Query) Limit(n int) *Query { q.limit = n; return q }
 
-func (q *Query) views() ([]*core.View, error) {
+// Parallelism overrides the fan-out width for this query: n concurrent
+// partition scans (1 = sequential, 0 = the database default).
+func (q *Query) Parallelism(n int) *Query { q.parallelism = n; return q }
+
+// targets returns the leaf execution sites: one per partition of the
+// primary cluster, or of the workspace when routed there.
+func (q *Query) targets() ([]cluster.LeafTarget, error) {
 	if q.workspace != nil {
-		return q.workspace.Views(q.table)
+		return q.workspace.QueryTargets(q.table)
 	}
-	return q.db.cluster.Views(q.table)
+	return q.db.cluster.QueryTargets(q.table)
 }
 
-// Rows executes the query. Without aggregates it returns matching rows;
-// with aggregates it returns one row per group (group values first, then
-// aggregate values).
-func (q *Query) Rows() ([]Row, error) {
-	views, err := q.views()
+// resolvedQuery is the execution-ready form: names resolved to ordinals,
+// targets snapshotted, parallelism decided.
+type resolvedQuery struct {
+	targets     []cluster.LeafTarget
+	views       []*core.View
+	schema      *types.Schema
+	filter      exec.Node
+	groupCols   []int
+	aggs        []exec.AggSpec
+	order       []exec.SortKey
+	parallelism int
+	earlyLimit  int
+}
+
+// resolve snapshots the partition views and resolves every name-based
+// reference (filters, aggregates, group and order columns) against the
+// table schema, returning a clear error for unknown columns.
+func (q *Query) resolve() (*resolvedQuery, error) {
+	targets, err := q.targets()
 	if err != nil {
 		return nil, err
 	}
-	var out []Row
-	if len(q.aggs) == 0 {
-		for _, v := range views {
-			scan := exec.NewScan(v, q.filter)
-			scan.Run(func(r types.Row) bool {
-				out = append(out, r.Clone())
-				return true
-			})
-			q.stats = addStats(q.stats, scan.Stats)
-		}
-	} else {
-		out, err = q.aggregate(views)
-		if err != nil {
-			return nil, err
-		}
+	schema, err := q.db.cluster.Schema(q.table)
+	if err != nil {
+		return nil, err
 	}
-	if len(q.order) > 0 {
-		exec.SortRows(out, q.order)
+	r := &resolvedQuery{
+		targets:     targets,
+		views:       make([]*core.View, len(targets)),
+		schema:      schema,
+		parallelism: q.effectiveParallelism(),
+		earlyLimit:  -1,
 	}
-	if q.limit >= 0 {
-		out = exec.Limit(out, q.limit)
+	for i, t := range targets {
+		r.views[i] = t.View
+	}
+	if r.filter, err = exec.ResolveNames(q.filter, schema); err != nil {
+		return nil, err
+	}
+	r.groupCols = make([]int, len(q.groups))
+	for i, g := range q.groups {
+		if g.name != "" {
+			col := schema.ColIndex(g.name)
+			if col < 0 {
+				return nil, exec.UnknownColumnError(g.name, schema)
+			}
+			r.groupCols[i] = col
+			continue
+		}
+		if g.ord < 0 || g.ord >= len(schema.Columns) {
+			return nil, fmt.Errorf("s2db: group-by ordinal %d out of range [0,%d)", g.ord, len(schema.Columns))
+		}
+		r.groupCols[i] = g.ord
+	}
+	if r.aggs, err = exec.ResolveAggSpecs(q.aggs, schema); err != nil {
+		return nil, err
+	}
+	if r.order, err = q.resolveOrder(schema, r.groupCols); err != nil {
+		return nil, err
+	}
+	// Early termination applies only when no ordering or grouping can pull
+	// rows from later partitions into the first Limit results.
+	if q.limit >= 0 && len(r.order) == 0 && len(r.aggs) == 0 && len(r.groupCols) == 0 {
+		r.earlyLimit = q.limit
+	}
+	return r, nil
+}
+
+// resolveOrder maps name-based sort keys to result-row ordinals: schema
+// ordinals for plain row queries, group-by output positions for aggregate
+// queries.
+func (q *Query) resolveOrder(schema *types.Schema, groupCols []int) ([]exec.SortKey, error) {
+	out := make([]exec.SortKey, len(q.order))
+	for i, k := range q.order {
+		if k.Name == "" {
+			out[i] = k
+			continue
+		}
+		col := schema.ColIndex(k.Name)
+		if col < 0 {
+			return nil, exec.UnknownColumnError(k.Name, schema)
+		}
+		if len(q.aggs) == 0 {
+			out[i] = exec.SortKey{Col: col, Desc: k.Desc}
+			continue
+		}
+		pos := -1
+		for gi, gc := range groupCols {
+			if gc == col {
+				pos = gi
+				break
+			}
+		}
+		if pos < 0 {
+			return nil, fmt.Errorf("s2db: ORDER BY column %q is not a group-by column of the aggregate query", k.Name)
+		}
+		out[i] = exec.SortKey{Col: pos, Desc: k.Desc}
 	}
 	return out, nil
 }
 
-// Count executes the query as a row count.
-func (q *Query) Count() (int64, error) {
-	views, err := q.views()
+// effectiveParallelism picks the fan-out width: the per-query override,
+// else Config.QueryParallelism, else GOMAXPROCS.
+func (q *Query) effectiveParallelism() int {
+	if q.parallelism > 0 {
+		return q.parallelism
+	}
+	return exec.DefaultParallelism(q.db.cfg.QueryParallelism)
+}
+
+// RowsCtx executes the query under ctx. Without aggregates it returns
+// matching rows; with aggregates it returns one row per group (group
+// values first, then aggregate values). Partition scans run concurrently;
+// cancelling ctx aborts them and returns the context's error.
+func (q *Query) RowsCtx(ctx context.Context) ([]Row, error) {
+	r, err := q.resolve()
+	if err != nil {
+		return nil, err
+	}
+	var stats exec.ScanStats
+	var out []Row
+	if len(r.aggs) == 0 {
+		out, err = exec.CollectRows(ctx, r.views, r.filter, r.earlyLimit, r.parallelism, &stats)
+	} else {
+		out, err = exec.AggregateViewsParallel(ctx, r.views, r.filter, r.groupCols, r.aggs, r.parallelism, &stats)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if len(r.order) > 0 {
+		exec.SortRows(out, r.order)
+	}
+	if q.limit >= 0 {
+		out = exec.Limit(out, q.limit)
+	}
+	q.setStats(stats)
+	return out, nil
+}
+
+// Rows executes the query under context.Background().
+func (q *Query) Rows() ([]Row, error) { return q.RowsCtx(context.Background()) }
+
+// CountCtx executes the query as a row count under ctx, fanning the count
+// out across partitions.
+func (q *Query) CountCtx(ctx context.Context) (int64, error) {
+	r, err := q.resolve()
 	if err != nil {
 		return 0, err
 	}
-	var n int64
-	for _, v := range views {
-		scan := exec.NewScan(v, q.filter)
-		n += scan.Count()
-		q.stats = addStats(q.stats, scan.Stats)
+	var stats exec.ScanStats
+	n, err := exec.CountViews(ctx, r.views, r.filter, r.parallelism, &stats)
+	if err != nil {
+		return 0, err
 	}
+	q.setStats(stats)
 	return n, nil
 }
 
-// Stats returns the adaptive-execution counters of the last run.
-func (q *Query) Stats() exec.ScanStats { return q.stats }
+// Count executes the query as a row count under context.Background().
+func (q *Query) Count() (int64, error) { return q.CountCtx(context.Background()) }
 
-// aggregate delegates to exec.AggregateViews, which merges per-partition
-// partials (decomposing Avg into Sum+Count).
-func (q *Query) aggregate(views []*core.View) ([]Row, error) {
-	var stats exec.ScanStats
-	rows := exec.AggregateViews(views, q.filter, q.groupCols, q.aggs, &stats)
-	q.stats = addStats(q.stats, stats)
-	return rows, nil
+// setStats replaces the last-run counters: stats are per-run (not
+// accumulated across repeated executions) and written only after the
+// worker pool has joined, so reads never race with a run.
+func (q *Query) setStats(s exec.ScanStats) {
+	q.mu.Lock()
+	q.stats = s
+	q.mu.Unlock()
 }
 
-func addStats(a, b exec.ScanStats) exec.ScanStats {
-	a.SegmentsScanned += b.SegmentsScanned
-	a.SegmentsSkipped += b.SegmentsSkipped
-	a.IndexFilters += b.IndexFilters
-	a.EncodedFilters += b.EncodedFilters
-	a.RegularFilters += b.RegularFilters
-	a.GroupFilters += b.GroupFilters
-	a.RowsScanned += b.RowsScanned
-	a.RowsOutput += b.RowsOutput
-	a.GlobalIndexProbes += b.GlobalIndexProbes
-	a.JoinIndexFilters += b.JoinIndexFilters
-	a.JoinIndexFallbacks += b.JoinIndexFallbacks
-	return a
+// Stats returns the adaptive-execution counters of the last completed run.
+func (q *Query) Stats() exec.ScanStats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.stats
 }

@@ -99,6 +99,11 @@ type Config struct {
 	MaxSegmentRows int
 	// BackgroundMaintenance runs the flusher and merger automatically.
 	BackgroundMaintenance bool
+	// QueryParallelism bounds the number of concurrent per-partition scan
+	// tasks a query fans out (§2: aggregators run partition fragments in
+	// parallel on the leaves). 0 means GOMAXPROCS; 1 runs sequentially.
+	// Query.Parallelism overrides it per query.
+	QueryParallelism int
 }
 
 // BlobStore is the object-store contract (see internal/blob).
