@@ -1,7 +1,7 @@
 # Tier-1 gate: every change must pass `make check` — build, vet, and the
 # full test suite under the race detector (the parallel fan-out scheduler
 # runs on every query, so -race is part of the gate, not an extra).
-.PHONY: check build vet test race bench
+.PHONY: check build vet test race bench benchall
 
 check: build vet race
 
@@ -17,5 +17,11 @@ test:
 race:
 	go test -race ./...
 
+# bench regenerates BENCH_PR2.json: cold-vs-warm decoded-vector-cache
+# numbers (ns/op, allocs/op, hit rate) for the scan and fan-out paths.
 bench:
+	go run ./cmd/s2bench -exp veccache -out BENCH_PR2.json
+
+# benchall runs the full Go benchmark suite (paper tables + ablations).
+benchall:
 	go test -bench=. -benchmem

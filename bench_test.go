@@ -729,3 +729,70 @@ func BenchmarkParallelFanoutSimIO(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkVecCacheScan measures the decoded-vector cache (PR 2) from the
+// public API: "cold" disables the cache so every run privately decodes its
+// column vectors; "warm" uses the default shared cache, primed by one
+// unmeasured run, so measured runs perform zero DecodeAll calls.
+func BenchmarkVecCacheScan(b *testing.B) {
+	for _, mode := range []struct {
+		name       string
+		cacheBytes int
+	}{
+		{"cold", -1},
+		{"warm", 0},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			db, err := s2db.Open(s2db.Config{
+				Partitions:       4,
+				VectorCacheBytes: mode.cacheBytes,
+				MaxSegmentRows:   4096,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer db.Close()
+			schema := s2db.NewSchema(
+				types.Column{Name: "id", Type: types.Int64},
+				types.Column{Name: "kind", Type: types.String},
+				types.Column{Name: "amount", Type: types.Int64},
+			)
+			if err := db.CreateTable("t", schema); err != nil {
+				b.Fatal(err)
+			}
+			rows := make([]s2db.Row, 0, 40000)
+			for i := 0; i < cap(rows); i++ {
+				rows = append(rows, s2db.Row{
+					s2db.Int(int64(i)),
+					s2db.Str(fmt.Sprintf("k%d", i%7)),
+					s2db.Int(int64(i % 1000)),
+				})
+			}
+			if err := db.BulkLoad("t", rows); err != nil {
+				b.Fatal(err)
+			}
+			q := db.Query("t").
+				Where(s2db.GtName("amount", s2db.Int(100))).
+				GroupByNames("kind").
+				Agg(s2db.CountAll(), s2db.SumName("amount"))
+			if mode.cacheBytes == 0 {
+				if _, err := q.Rows(); err != nil { // prime the cache
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := q.Rows(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			st := q.Stats()
+			if mode.cacheBytes == 0 && st.VecDecodes != 0 {
+				b.Fatalf("warm run decoded %d vectors, want 0", st.VecDecodes)
+			}
+			b.ReportMetric(db.VectorCacheStats().HitRate(), "hit-rate")
+		})
+	}
+}

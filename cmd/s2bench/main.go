@@ -6,7 +6,8 @@
 //	s2bench -exp figure4   # TPC-H per-query runtimes (Figure 4)
 //	s2bench -exp figure5   # TPC-C + TPC-H cross-engine summary (Figure 5)
 //	s2bench -exp table3    # CH-BenCHmark mixed workload (Table 3)
-//	s2bench -exp all
+//	s2bench -exp veccache  # decoded-vector cache cold/warm (BENCH_PR2.json)
+//	s2bench -exp all       # every table/figure (veccache stays opt-in)
 //
 // Absolute numbers are laptop-scale; compare shapes against the paper (see
 // EXPERIMENTS.md).
@@ -30,12 +31,23 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, table2, figure4, figure5, table3, all")
+	exp := flag.String("exp", "all", "experiment: table1, table2, figure4, figure5, table3, veccache, all")
+	out := flag.String("out", "BENCH_PR2.json", "output path for -exp veccache results")
 	sf := flag.Float64("sf", 0.01, "TPC-H scale factor")
 	warehouses := flag.Int("warehouses", 2, "TPC-C warehouses")
 	duration := flag.Duration("duration", 3*time.Second, "per-measurement duration")
 	seed := flag.Int64("seed", 1, "data generation seed")
 	flag.Parse()
+
+	// veccache writes a JSON artifact, so it runs only when asked for
+	// explicitly (not under -exp all).
+	if *exp == "veccache" {
+		if err := veccacheBench(*out); err != nil {
+			fmt.Fprintf(os.Stderr, "veccache: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	run := func(name string, f func() error) {
 		switch *exp {

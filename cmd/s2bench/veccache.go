@@ -1,0 +1,171 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"s2db"
+)
+
+// veccacheBench measures the decoded-vector cache (PR 2): cold-vs-warm
+// scan and fan-out aggregate queries, reporting ns/op, allocs/op and the
+// cache counters, and writes the results as JSON (BENCH_PR2.json). Cold
+// runs disable the cache (VectorCacheBytes < 0); warm runs use the default
+// cache primed by one unmeasured query.
+func veccacheBench(out string) error {
+	type result struct {
+		Name         string  `json:"name"`
+		NsPerOp      float64 `json:"ns_per_op"`
+		BytesPerOp   int64   `json:"bytes_per_op"`
+		AllocsPerOp  int64   `json:"allocs_per_op"`
+		VecDecodes   int64   `json:"vec_decodes_last_run"`
+		CacheHits    int64   `json:"cache_hits_last_run"`
+		CacheMisses  int64   `json:"cache_misses_last_run"`
+		CacheHitRate float64 `json:"cache_hit_rate"`
+	}
+	var results []result
+
+	open := func(vectorCacheBytes int) (*s2db.DB, error) {
+		db, err := s2db.Open(s2db.Config{
+			Partitions:       8,
+			VectorCacheBytes: vectorCacheBytes,
+			MaxSegmentRows:   4096,
+		})
+		if err != nil {
+			return nil, err
+		}
+		schema := s2db.NewSchema(
+			s2db.Column{Name: "id", Type: s2db.Int64T},
+			s2db.Column{Name: "kind", Type: s2db.StringT},
+			s2db.Column{Name: "amount", Type: s2db.Int64T},
+			s2db.Column{Name: "price", Type: s2db.Float64T},
+		)
+		if err := db.CreateTable("events", schema); err != nil {
+			db.Close()
+			return nil, err
+		}
+		const rows = 50_000
+		batch := make([]s2db.Row, 0, rows)
+		for i := 0; i < rows; i++ {
+			batch = append(batch, s2db.Row{
+				s2db.Int(int64(i)),
+				s2db.Str(fmt.Sprintf("k%d", i%7)),
+				s2db.Int(int64(i % 1000)),
+				s2db.Float(float64(i) * 0.25),
+			})
+		}
+		if err := db.BulkLoad("events", batch); err != nil {
+			db.Close()
+			return nil, err
+		}
+		return db, nil
+	}
+
+	query := func(db *s2db.DB, parallelism int) *s2db.Query {
+		return db.Query("events").
+			Where(s2db.GtName("amount", s2db.Int(100))).
+			GroupByNames("kind").
+			Agg(s2db.CountAll(), s2db.SumName("amount")).
+			Parallelism(parallelism)
+	}
+
+	measure := func(name string, vectorCacheBytes, parallelism int, warm bool) error {
+		db, err := open(vectorCacheBytes)
+		if err != nil {
+			return err
+		}
+		defer db.Close()
+		q := query(db, parallelism)
+		if warm {
+			if _, err := q.Rows(); err != nil {
+				return err
+			}
+		}
+		var runErr error
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := q.Rows(); err != nil {
+					runErr = err
+					return
+				}
+			}
+		})
+		if runErr != nil {
+			return runErr
+		}
+		st := q.Stats()
+		results = append(results, result{
+			Name:         name,
+			NsPerOp:      float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:   r.AllocedBytesPerOp(),
+			AllocsPerOp:  r.AllocsPerOp(),
+			VecDecodes:   st.VecDecodes,
+			CacheHits:    st.VecCacheHits,
+			CacheMisses:  st.VecCacheMisses,
+			CacheHitRate: db.VectorCacheStats().HitRate(),
+		})
+		fmt.Printf("%-24s %12.0f ns/op %12d B/op %8d allocs/op  decodes=%d hits=%d\n",
+			name, results[len(results)-1].NsPerOp, r.AllocedBytesPerOp(), r.AllocsPerOp(),
+			st.VecDecodes, st.VecCacheHits)
+		return nil
+	}
+
+	// Cold: cache disabled, every run decodes privately. Warm: shared cache
+	// primed once; measured runs should decode nothing.
+	for _, c := range []struct {
+		name        string
+		cacheBytes  int
+		parallelism int
+		warm        bool
+	}{
+		{"scan/cold", -1, 1, false},
+		{"scan/warm", 0, 1, true},
+		{"fanout/cold", -1, 0, false},
+		{"fanout/warm", 0, 0, true},
+	} {
+		if err := measure(c.name, c.cacheBytes, c.parallelism, c.warm); err != nil {
+			return fmt.Errorf("%s: %w", c.name, err)
+		}
+	}
+
+	byName := func(name string) result {
+		for _, r := range results {
+			if r.Name == name {
+				return r
+			}
+		}
+		return result{}
+	}
+	cold, warmR := byName("scan/cold"), byName("scan/warm")
+	acceptance := map[string]any{
+		"warm_zero_decodes": warmR.VecDecodes == 0,
+		"warm_bytes_reduction_vs_cold": 1 - float64(warmR.BytesPerOp)/
+			float64(max64(cold.BytesPerOp, 1)),
+	}
+	payload := map[string]any{
+		"benchmark":  "decoded-vector cache (PR 2)",
+		"command":    "s2bench -exp veccache",
+		"benchmarks": results,
+		"acceptance": acceptance,
+	}
+	data, err := json.MarshalIndent(payload, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	return nil
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

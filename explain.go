@@ -119,5 +119,9 @@ func (p Plan) String() string {
 			s.IndexFilters, s.EncodedFilters, s.RegularFilters, s.GroupFilters,
 			s.RowsOutput, s.RowsScanned)
 	}
+	if s.VecCacheHits+s.VecCacheMisses+s.VecCacheWaits+s.VecDecodes > 0 {
+		fmt.Fprintf(&b, "  vector cache: %d hits, %d misses, %d waits, %d evictions; %d column decodes\n",
+			s.VecCacheHits, s.VecCacheMisses, s.VecCacheWaits, s.VecCacheEvictions, s.VecDecodes)
+	}
 	return b.String()
 }

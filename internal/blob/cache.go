@@ -10,6 +10,8 @@ import (
 // files are kept on local storage while cold files live only in blob
 // storage and are fetched on demand. Files not yet uploaded to the blob
 // store are pinned and can never be evicted (they are the only copy).
+// Cold fetches are single-flight: concurrent Gets for the same missing
+// key issue one blob-store request and share its result.
 type FileCache struct {
 	mu       sync.Mutex
 	store    Store
@@ -17,6 +19,7 @@ type FileCache struct {
 	curBytes int
 	lru      *list.List // of *cacheEntry, front = most recent
 	entries  map[string]*list.Element
+	inflight map[string]*fetch
 
 	// counters for the experiments
 	hits, misses, evictions int64
@@ -28,6 +31,14 @@ type cacheEntry struct {
 	pinned bool
 }
 
+// fetch is one in-flight blob-store Get; waiters block on done and then
+// read data/err, which the owner writes before closing the channel.
+type fetch struct {
+	done chan struct{}
+	data []byte
+	err  error
+}
+
 // NewFileCache returns a cache backed by store, holding at most maxBytes of
 // unpinned file data.
 func NewFileCache(store Store, maxBytes int) *FileCache {
@@ -36,16 +47,26 @@ func NewFileCache(store Store, maxBytes int) *FileCache {
 		maxBytes: maxBytes,
 		lru:      list.New(),
 		entries:  make(map[string]*list.Element),
+		inflight: make(map[string]*fetch),
 	}
 }
 
 // AddLocal registers a newly written local file. It is pinned until
-// MarkUploaded is called (the blob store does not have it yet).
+// MarkUploaded is called (the blob store does not have it yet). Re-adding
+// an existing key re-pins it and refreshes its bytes: the caller has the
+// authoritative local copy again (e.g. a replica rewrote the file during
+// replay), so a previously uploaded-and-unpinned entry must not stay
+// evictable with stale accounting.
 func (c *FileCache) AddLocal(key string, data []byte) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.entries[key]; ok {
+		e := el.Value.(*cacheEntry)
+		c.curBytes += len(data) - len(e.data)
+		e.data = data
+		e.pinned = true
 		c.lru.MoveToFront(el)
+		c.evict()
 		return
 	}
 	e := &cacheEntry{key: key, data: data, pinned: true}
@@ -66,7 +87,9 @@ func (c *FileCache) MarkUploaded(key string) {
 }
 
 // Get returns the file contents, from cache when hot or from the blob
-// store when cold (re-inserting it as hot).
+// store when cold (re-inserting it as hot). A cold key is fetched once no
+// matter how many goroutines miss on it concurrently: the first registers
+// an in-flight fetch, the rest wait on it and share the result.
 func (c *FileCache) Get(key string) ([]byte, error) {
 	c.mu.Lock()
 	if el, ok := c.entries[key]; ok {
@@ -76,21 +99,36 @@ func (c *FileCache) Get(key string) ([]byte, error) {
 		c.mu.Unlock()
 		return data, nil
 	}
+	if f, ok := c.inflight[key]; ok {
+		c.hits++ // shared with the in-flight fetch, not a second blob read
+		c.mu.Unlock()
+		<-f.done
+		return f.data, f.err
+	}
 	c.misses++
+	f := &fetch{done: make(chan struct{})}
+	c.inflight[key] = f
 	c.mu.Unlock()
 
 	data, err := c.store.Get(key)
 	if err != nil {
-		return nil, fmt.Errorf("file cache miss for %s: %w", key, err)
+		err = fmt.Errorf("file cache miss for %s: %w", key, err)
 	}
+
 	c.mu.Lock()
-	if _, ok := c.entries[key]; !ok {
+	delete(c.inflight, key)
+	if _, ok := c.entries[key]; !ok && err == nil {
 		e := &cacheEntry{key: key, data: data}
 		c.entries[key] = c.lru.PushFront(e)
 		c.curBytes += len(data)
 		c.evict()
 	}
+	f.data, f.err = data, err
 	c.mu.Unlock()
+	close(f.done)
+	if err != nil {
+		return nil, err
+	}
 	return data, nil
 }
 

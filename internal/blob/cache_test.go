@@ -1,0 +1,148 @@
+package blob
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// countingStore wraps a Store and counts Gets, optionally delaying them so
+// concurrent misses overlap deterministically.
+type countingStore struct {
+	Store
+	gets  atomic.Int64
+	delay time.Duration
+}
+
+func (s *countingStore) Get(key string) ([]byte, error) {
+	s.gets.Add(1)
+	if s.delay > 0 {
+		time.Sleep(s.delay)
+	}
+	return s.Store.Get(key)
+}
+
+func TestFileCacheSingleFlightGet(t *testing.T) {
+	mem := NewMemory()
+	mem.Put("seg/1", []byte("payload"))
+	store := &countingStore{Store: mem, delay: 20 * time.Millisecond}
+	c := NewFileCache(store, 1<<20)
+
+	const n = 16
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	datas := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			datas[i], errs[i] = c.Get("seg/1")
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("Get %d: %v", i, errs[i])
+		}
+		if string(datas[i]) != "payload" {
+			t.Fatalf("Get %d = %q", i, datas[i])
+		}
+	}
+	if got := store.gets.Load(); got != 1 {
+		t.Fatalf("store saw %d Gets for one cold key, want 1 (single-flight)", got)
+	}
+	hits, misses, _ := c.Stats()
+	if misses != 1 || hits != n-1 {
+		t.Fatalf("hits=%d misses=%d, want %d/1", hits, misses, n-1)
+	}
+}
+
+func TestFileCacheSingleFlightError(t *testing.T) {
+	store := &countingStore{Store: NewMemory(), delay: 10 * time.Millisecond}
+	c := NewFileCache(store, 1<<20)
+
+	const n = 8
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = c.Get("missing")
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] == nil {
+			t.Fatalf("Get %d of a missing key succeeded", i)
+		}
+	}
+	if got := store.gets.Load(); got != 1 {
+		t.Fatalf("store saw %d Gets, want 1", got)
+	}
+	// The error is not cached: a later Get retries the store.
+	if _, err := c.Get("missing"); err == nil {
+		t.Fatal("retry succeeded unexpectedly")
+	}
+	if got := store.gets.Load(); got != 2 {
+		t.Fatalf("retry did not reach the store (gets=%d)", got)
+	}
+}
+
+func TestFileCacheAddLocalExistingKeyRepins(t *testing.T) {
+	c := NewFileCache(NewMemory(), 10)
+	c.AddLocal("k", []byte("aaaa"))   // 4 bytes, pinned
+	c.MarkUploaded("k")               // now evictable
+	c.AddLocal("k", []byte("bbbbbb")) // 6 bytes: re-pin + refresh
+
+	if got := c.CachedBytes(); got != 6 {
+		t.Fatalf("CachedBytes = %d after refresh, want 6", got)
+	}
+	data, err := c.Get("k")
+	if err != nil || string(data) != "bbbbbb" {
+		t.Fatalf("Get = %q, %v; want refreshed bytes", data, err)
+	}
+	// The re-pinned entry must survive eviction pressure: fill past maxBytes
+	// with evictable entries and confirm "k" stays.
+	c.AddLocal("other", []byte("cccccccc"))
+	c.MarkUploaded("other")
+	if !c.Contains("k") {
+		t.Fatal("re-pinned entry was evicted")
+	}
+}
+
+func TestFileCacheConcurrentHammer(t *testing.T) {
+	mem := NewMemory()
+	for i := 0; i < 8; i++ {
+		mem.Put(fmt.Sprintf("k%d", i), []byte("0123456789"))
+	}
+	c := NewFileCache(&countingStore{Store: mem}, 64) // tight: forces eviction
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", (g+i)%8)
+				switch i % 4 {
+				case 0:
+					if _, err := c.Get(key); err != nil {
+						t.Errorf("Get %s: %v", key, err)
+						return
+					}
+				case 1:
+					c.AddLocal(key, []byte("xxxxxxxxxx"))
+					c.MarkUploaded(key)
+				case 2:
+					c.Remove(key)
+				default:
+					c.Contains(key)
+					c.CachedBytes()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -31,6 +31,11 @@ type Config struct {
 	ReplicationLatency time.Duration
 	// Table configures per-partition table storage.
 	Table core.Config
+	// DecodedCache is the node-wide decoded-vector cache shared by every
+	// partition, replica and workspace of this cluster (the in-memory tier
+	// above the per-partition data-file caches). It is threaded into each
+	// table's core.Config so LSM merges invalidate retired segments.
+	DecodedCache core.DecodedVectorCache
 	// CommitTimeout bounds durability waits.
 	CommitTimeout time.Duration
 	// ChunkRecords and SnapshotEvery tune blob staging.
@@ -46,6 +51,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CommitTimeout <= 0 {
 		c.CommitTimeout = 10 * time.Second
+	}
+	if c.Table.DecodedCache == nil {
+		c.Table.DecodedCache = c.DecodedCache
 	}
 	return c
 }

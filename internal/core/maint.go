@@ -33,7 +33,11 @@ func (t *Table) installSegment(ts uint64, seg *colstore.Segment, run int, file s
 	t.idx.AddSegment(seg)
 }
 
-// dropSegment retires a segment at ts (after a merge).
+// dropSegment retires a segment at ts (after a merge). The decoded-vector
+// cache drops the segment's vectors immediately; a scan at an older
+// snapshot that is still reading the segment stays correct (segment
+// payloads are immutable) and anything it re-inserts is reclaimed by
+// normal LRU pressure.
 func (t *Table) dropSegment(ts uint64, id uint64) {
 	t.segMu.RLock()
 	e := t.segs[id]
@@ -43,6 +47,9 @@ func (t *Table) dropSegment(ts uint64, id uint64) {
 	}
 	e.dropTS.Store(ts)
 	t.idx.DropSegment(id)
+	if t.cfg.DecodedCache != nil {
+		t.cfg.DecodedCache.InvalidateSegment(e.latestMeta().Seg)
+	}
 }
 
 // applySegDeletes installs new deleted-bits versions at ts for the given

@@ -43,6 +43,20 @@ type Config struct {
 	// old snapshots before physical removal. Readers must not use
 	// snapshots older than this.
 	CompactionGrace time.Duration
+	// DecodedCache, when non-nil, is the shared decoded-vector cache the
+	// execution layer serves scans from (exec.VecCache). The table's only
+	// obligation is invalidation: it drops a segment's vectors when an LSM
+	// merge retires the segment. Defined as an interface so core does not
+	// depend on the execution layer.
+	DecodedCache DecodedVectorCache
+}
+
+// DecodedVectorCache is the invalidation contract between table maintenance
+// and the execution layer's decoded-vector cache: segment payloads are
+// immutable, so retiring the segment is the only event that can stale a
+// cached vector.
+type DecodedVectorCache interface {
+	InvalidateSegment(seg *colstore.Segment)
 }
 
 func (c Config) withDefaults() Config {
@@ -352,6 +366,11 @@ func (v *View) ScanBufferRange(from, to []byte, f func(r types.Row) bool) {
 // Index exposes the table's secondary indexes. Callers must restrict index
 // matches to segments present in the view.
 func (v *View) Index() *index.Set { return v.table.idx }
+
+// DecodedCache exposes the table's shared decoded-vector cache (nil when
+// none is configured); the execution layer serves repeated segment decodes
+// from it.
+func (v *View) DecodedCache() DecodedVectorCache { return v.table.cfg.DecodedCache }
 
 // HasSegment reports whether the given segment id is part of the view.
 func (v *View) HasSegment(id uint64) bool {

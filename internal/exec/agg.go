@@ -178,8 +178,12 @@ func Aggregate(view *core.View, filter Node, groupCols []int, aggs []AggSpec, sc
 		}
 	}
 
+	// keyScratch is reused across rows: touch clones the key on first sight
+	// of a group, so handing it a shared scratch row is safe and removes a
+	// per-row allocation.
+	keyScratch := make(types.Row, len(groupCols))
 	addRow := func(r types.Row) {
-		key := make(types.Row, len(groupCols))
+		key := keyScratch
 		for i, c := range groupCols {
 			key[i] = r[c]
 		}

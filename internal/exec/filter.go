@@ -75,9 +75,16 @@ type SegContext struct {
 	Idx  *index.Set
 	// Stats is optional; when set, strategy decisions are counted.
 	Stats *ScanStats
+	// Cache, when non-nil, is the process-wide decoded-vector cache shared
+	// across queries and fan-out workers; nil falls back to private
+	// per-segment decodes (the pre-cache behaviour).
+	Cache *VecCache
 
 	intCache [][]int64
 	strCache [][]string
+	// rowBufs tracks pooled row buffers handed out by Materializer so the
+	// scan can recycle them once the segment's callback returns.
+	rowBufs []*types.Row
 }
 
 // NewSegContext prepares execution state for one segment.
@@ -87,24 +94,46 @@ func NewSegContext(meta *colstore.Meta, idx *index.Set, stats *ScanStats) *SegCo
 		intCache: make([][]int64, n), strCache: make([][]string, n)}
 }
 
-// ints returns the fully decoded int64 (or float bits) column, cached.
+// ints returns the fully decoded int64 (or float bits) column. The slice is
+// memoized per segment-context and, when a shared cache is wired in, served
+// from (and published to) the cross-query decoded-vector cache.
 func (c *SegContext) ints(col int) []int64 {
 	if v := c.intCache[col]; v != nil {
 		return v
 	}
-	v := c.Meta.Seg.Cols[col].Ints.DecodeAll(make([]int64, 0, c.Meta.Seg.NumRows))
+	var v []int64
+	if c.Cache != nil {
+		v = c.Cache.Ints(c.Meta, col, c.Stats)
+	} else {
+		v = decodeInts(c.Meta, col, c.Stats)
+	}
 	c.intCache[col] = v
 	return v
 }
 
-// strs returns the fully decoded string column, cached.
+// strs returns the fully decoded string column; see ints for caching.
 func (c *SegContext) strs(col int) []string {
 	if v := c.strCache[col]; v != nil {
 		return v
 	}
-	v := c.Meta.Seg.Cols[col].Strs.DecodeAll(make([]string, 0, c.Meta.Seg.NumRows))
+	var v []string
+	if c.Cache != nil {
+		v = c.Cache.Strs(c.Meta, col, c.Stats)
+	} else {
+		v = decodeStrs(c.Meta, col, c.Stats)
+	}
 	c.strCache[col] = v
 	return v
+}
+
+// releaseBuffers recycles the pooled row buffers handed out by
+// Materializer. Callers must not touch previously emitted rows afterwards
+// (the standard iterator contract already requires cloning retained rows).
+func (c *SegContext) releaseBuffers() {
+	for _, p := range c.rowBufs {
+		putRow(p)
+	}
+	c.rowBufs = nil
 }
 
 // Materializer returns a row builder for this segment. When cols is
@@ -122,7 +151,9 @@ func (c *SegContext) Materializer(cols []int, dense bool) func(i int) types.Row 
 			cols[i] = i
 		}
 	}
-	buf := make(types.Row, ncols)
+	bufp := getRow(ncols)
+	c.rowBufs = append(c.rowBufs, bufp)
+	buf := *bufp
 	if !dense {
 		return func(i int) types.Row {
 			for _, col := range cols {
@@ -182,6 +213,17 @@ type ScanStats struct {
 	GlobalIndexProbes  int64
 	JoinIndexFilters   int64
 	JoinIndexFallbacks int64
+
+	// Decoded-vector cache counters for this scan: hits served without
+	// decode work, misses this scan decoded itself, waits that joined
+	// another worker's in-flight decode (single-flight), and evictions this
+	// scan's inserts triggered. VecDecodes counts the DecodeAll calls the
+	// scan actually performed — zero on a fully warm cache.
+	VecCacheHits      int64
+	VecCacheMisses    int64
+	VecCacheWaits     int64
+	VecCacheEvictions int64
+	VecDecodes        int64
 }
 
 // Leaf is a comparison clause: col op val (with optional IN-list).

@@ -162,6 +162,11 @@ func accumulate(dst *ScanStats, src ScanStats) {
 	dst.GlobalIndexProbes += src.GlobalIndexProbes
 	dst.JoinIndexFilters += src.JoinIndexFilters
 	dst.JoinIndexFallbacks += src.JoinIndexFallbacks
+	dst.VecCacheHits += src.VecCacheHits
+	dst.VecCacheMisses += src.VecCacheMisses
+	dst.VecCacheWaits += src.VecCacheWaits
+	dst.VecCacheEvictions += src.VecCacheEvictions
+	dst.VecDecodes += src.VecDecodes
 }
 
 // AccumulateStats merges src into dst; the fan-out coordinator uses it to

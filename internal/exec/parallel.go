@@ -4,7 +4,11 @@
 // deterministic view order. Each task gets its own filter-tree clone (the
 // adaptive nodes carry mutable statistics) and its own ScanStats; the
 // coordinator folds stats only after the pool joins, so the whole path is
-// race-free under `go test -race`.
+// race-free under `go test -race`. Workers share the process-wide
+// decoded-vector cache through their views: N workers hitting the same
+// cold segment column decode it once (single-flight) and the per-worker
+// VecCache* counters fold into the coordinator's stats like every other
+// counter.
 package exec
 
 import (

@@ -35,6 +35,30 @@ type Scan struct {
 	// scheduler wires this to a context so in-flight partition scans stop
 	// promptly on cancellation.
 	Cancel func() bool
+	// DisableVectorCache bypasses the shared decoded-vector cache for this
+	// scan (ablation/benchmark knob); private per-segment decodes are used
+	// instead.
+	DisableVectorCache bool
+
+	vec         *VecCache
+	vecResolved bool
+}
+
+// cache resolves the decoded-vector cache serving this scan's view, once
+// per scan. It is nil when the table has no cache configured or the scan
+// opted out.
+func (s *Scan) cache() *VecCache {
+	if s.vecResolved {
+		return s.vec
+	}
+	s.vecResolved = true
+	if s.DisableVectorCache {
+		return nil
+	}
+	if c, ok := s.View.DecodedCache().(*VecCache); ok && c != nil {
+		s.vec = c
+	}
+	return s.vec
 }
 
 // NewScan builds a scan over a view.
@@ -164,7 +188,14 @@ func (s *Scan) candidateSegments() []int {
 // RunSegments calls f once per surviving segment with the filtered
 // selection vector (deleted rows removed). The SegContext's decode caches
 // are shared with f, so aggregations reuse the filter's column decodes.
+// Both sel and any rows materialized through the SegContext are backed by
+// pooled buffers valid only until f returns; retain copies, not the slices.
 func (s *Scan) RunSegments(f func(ctx *SegContext, sel []int32)) {
+	vec := s.cache()
+	selBuf := getSel(0)
+	scratchBuf := getSel(0)
+	defer putSel(selBuf)
+	defer putSel(scratchBuf)
 	for _, si := range s.candidateSegments() {
 		if s.Cancel != nil && s.Cancel() {
 			return
@@ -173,7 +204,11 @@ func (s *Scan) RunSegments(f func(ctx *SegContext, sel []int32)) {
 		s.Stats.SegmentsScanned++
 		s.Stats.RowsScanned += int64(meta.Seg.NumRows)
 		ctx := NewSegContext(meta, s.View.Index(), &s.Stats)
-		sel := make([]int32, 0, meta.Seg.NumRows)
+		ctx.Cache = vec
+		if cap(*selBuf) < meta.Seg.NumRows {
+			*selBuf = make([]int32, 0, meta.Seg.NumRows)
+		}
+		sel := (*selBuf)[:0]
 		if meta.Deleted.Count() == 0 {
 			for i := 0; i < meta.Seg.NumRows; i++ {
 				sel = append(sel, int32(i))
@@ -185,13 +220,18 @@ func (s *Scan) RunSegments(f func(ctx *SegContext, sel []int32)) {
 				}
 			}
 		}
+		*selBuf = sel[:0]
 		if s.Filter != nil {
-			sel = s.Filter.EvalSeg(ctx, sel, make([]int32, 0, len(sel)))
+			out := s.Filter.EvalSeg(ctx, sel, (*scratchBuf)[:0])
+			// Keep whatever capacity EvalSeg grew for the next segment.
+			*scratchBuf = out[:0]
+			sel = out
 		}
 		if len(sel) > 0 {
 			s.Stats.RowsOutput += int64(len(sel))
 			f(ctx, sel)
 		}
+		ctx.releaseBuffers()
 	}
 }
 

@@ -1,0 +1,324 @@
+// Decoded-vector cache: the second cache tier of the separated-storage
+// design. Tier one (internal/blob.FileCache, §3.1) keeps *encoded* segment
+// files on local storage; this tier keeps *decoded* column vectors in
+// memory, shared across queries and across the parallel scheduler's
+// workers, so repeated scans of immutable segments skip DecodeAll entirely
+// (the lesson PolarDB-IMCI draws at production scale: cache in-memory
+// column units, not just raw files). Segments are immutable (§2.1.2), so a
+// cached vector never goes stale — entries are dropped only when an LSM
+// merge retires their segment or the LRU evicts them under memory pressure.
+package exec
+
+import (
+	"container/list"
+	"sync"
+
+	"s2db/internal/colstore"
+	"s2db/internal/types"
+)
+
+// VecCacheStats snapshots the cache-wide counters.
+type VecCacheStats struct {
+	// Hits served a fully decoded vector without any decode work.
+	Hits int64
+	// Misses decoded the vector (the single-flight owner's count).
+	Misses int64
+	// Waits joined another goroutine's in-flight decode instead of
+	// duplicating it (single-flight sharing).
+	Waits int64
+	// Evictions counts vectors dropped under memory pressure.
+	Evictions int64
+	// Invalidations counts vectors dropped because a merge retired their
+	// segment.
+	Invalidations int64
+	// Entries and Bytes describe the current residency.
+	Entries int
+	Bytes   int64
+}
+
+// HitRate returns Hits+Waits over all lookups (waits share a decode, so
+// they count as serviced-without-own-decode).
+func (s VecCacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses + s.Waits
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits+s.Waits) / float64(total)
+}
+
+// vecKey identifies one decoded column vector. Segments are keyed by
+// pointer identity: IDs are only unique within one table partition, while
+// the Segment object is unique process-wide and immutable, and keeping it
+// as a map key pins it for exactly as long as the cache holds its vectors.
+type vecKey struct {
+	seg *colstore.Segment
+	col int
+}
+
+// vecEntry is one cached (or in-flight) decoded vector. Payload fields are
+// written by the single decoding goroutine before ready is closed and never
+// mutated afterwards; waiters read them only after <-ready.
+type vecEntry struct {
+	key   vecKey
+	ints  []int64
+	strs  []string
+	size  int64
+	done  bool          // guarded by VecCache.mu
+	ready chan struct{} // closed once the decode has published
+	el    *list.Element // non-nil while resident in the LRU
+}
+
+// VecCache is a size-bounded, concurrency-safe LRU of decoded column
+// vectors with single-flight decode: when N workers hit the same cold
+// (segment, column) pair, one decodes and the rest wait and share the
+// result. A nil *VecCache is valid and disables sharing (scans fall back
+// to their private per-scan decode caches).
+type VecCache struct {
+	maxBytes int64
+
+	mu       sync.Mutex
+	entries  map[vecKey]*vecEntry
+	lru      *list.List // of *vecEntry, front = most recent
+	curBytes int64
+
+	hits, misses, waits, evictions, invalidations int64
+}
+
+// NewVecCache returns a cache bounded to maxBytes of decoded vector data,
+// or nil (cache disabled) when maxBytes <= 0.
+func NewVecCache(maxBytes int) *VecCache {
+	if maxBytes <= 0 {
+		return nil
+	}
+	return &VecCache{
+		maxBytes: int64(maxBytes),
+		entries:  make(map[vecKey]*vecEntry),
+		lru:      list.New(),
+	}
+}
+
+// InvalidateSegment drops every vector of the segment, called when an LSM
+// merge retires it (it implements core.DecodedVectorCache). In-flight
+// decodes for the segment are detached: the decoder and its waiters still
+// get their vector — correct for their older snapshot, since segment
+// payloads are immutable — but the result is not installed in the LRU.
+func (c *VecCache) InvalidateSegment(seg *colstore.Segment) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	for k, e := range c.entries {
+		if k.seg != seg {
+			continue
+		}
+		if e.el != nil {
+			c.lru.Remove(e.el)
+			e.el = nil
+			c.curBytes -= e.size
+		}
+		delete(c.entries, k)
+		c.invalidations++
+	}
+	c.mu.Unlock()
+}
+
+// Ints returns the decoded int64 (or float-bits) vector for the column,
+// decoding at most once process-wide per (segment, column). st, when
+// non-nil, receives the per-scan hit/miss/wait counters.
+func (c *VecCache) Ints(meta *colstore.Meta, col int, st *ScanStats) []int64 {
+	e, owner := c.acquire(vecKey{seg: meta.Seg, col: col}, st)
+	if !owner {
+		return e.ints
+	}
+	v := decodeInts(meta, col, st)
+	e.ints = v
+	c.publish(e, 8*int64(cap(v)), st)
+	return v
+}
+
+// Strs returns the decoded string vector for the column, decoding at most
+// once process-wide per (segment, column).
+func (c *VecCache) Strs(meta *colstore.Meta, col int, st *ScanStats) []string {
+	e, owner := c.acquire(vecKey{seg: meta.Seg, col: col}, st)
+	if !owner {
+		return e.strs
+	}
+	v := decodeStrs(meta, col, st)
+	e.strs = v
+	c.publish(e, stringsBytes(v), st)
+	return v
+}
+
+// acquire resolves the entry for k and reports whether the caller owns the
+// decode (single-flight). When owner is false the entry is fully decoded on
+// return — the caller may have blocked on a concurrent decoder.
+func (c *VecCache) acquire(k vecKey, st *ScanStats) (*vecEntry, bool) {
+	c.mu.Lock()
+	if e, ok := c.entries[k]; ok {
+		if e.done {
+			if e.el != nil {
+				c.lru.MoveToFront(e.el)
+			}
+			c.hits++
+			if st != nil {
+				st.VecCacheHits++
+			}
+			c.mu.Unlock()
+			return e, false
+		}
+		// Another goroutine is decoding this vector right now: wait for it
+		// instead of duplicating the work.
+		c.waits++
+		if st != nil {
+			st.VecCacheWaits++
+		}
+		ready := e.ready
+		c.mu.Unlock()
+		<-ready
+		return e, false
+	}
+	e := &vecEntry{key: k, ready: make(chan struct{})}
+	c.entries[k] = e
+	c.misses++
+	if st != nil {
+		st.VecCacheMisses++
+	}
+	c.mu.Unlock()
+	return e, true
+}
+
+// publish installs a decoded entry in the LRU (unless it was invalidated
+// mid-decode or exceeds the whole budget) and releases its waiters. The
+// payload fields must be set before publish is called.
+func (c *VecCache) publish(e *vecEntry, size int64, st *ScanStats) {
+	c.mu.Lock()
+	e.size = size
+	e.done = true
+	switch {
+	case c.entries[e.key] != e:
+		// Invalidated (or superseded) while decoding: serve the waiters but
+		// do not install.
+	case size > c.maxBytes:
+		// Larger than the entire budget: caching it would evict everything
+		// for a vector that cannot stay. Serve it uncached.
+		delete(c.entries, e.key)
+	default:
+		e.el = c.lru.PushFront(e)
+		c.curBytes += size
+		c.evictLocked(st)
+	}
+	c.mu.Unlock()
+	close(e.ready)
+}
+
+// evictLocked drops least-recently-used vectors until the cache fits.
+// Caller holds mu.
+func (c *VecCache) evictLocked(st *ScanStats) {
+	for c.curBytes > c.maxBytes {
+		back := c.lru.Back()
+		if back == nil {
+			return
+		}
+		e := back.Value.(*vecEntry)
+		c.lru.Remove(back)
+		e.el = nil
+		c.curBytes -= e.size
+		if c.entries[e.key] == e {
+			delete(c.entries, e.key)
+		}
+		c.evictions++
+		if st != nil {
+			st.VecCacheEvictions++
+		}
+	}
+}
+
+// Stats snapshots the cache counters; safe on a nil (disabled) cache.
+func (c *VecCache) Stats() VecCacheStats {
+	if c == nil {
+		return VecCacheStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return VecCacheStats{
+		Hits:          c.hits,
+		Misses:        c.misses,
+		Waits:         c.waits,
+		Evictions:     c.evictions,
+		Invalidations: c.invalidations,
+		Entries:       c.lru.Len(),
+		Bytes:         c.curBytes,
+	}
+}
+
+// decodeInts fully decodes an int column, counting the decode in st.
+func decodeInts(meta *colstore.Meta, col int, st *ScanStats) []int64 {
+	if st != nil {
+		st.VecDecodes++
+	}
+	return meta.Seg.Cols[col].Ints.DecodeAll(make([]int64, 0, meta.Seg.NumRows))
+}
+
+// decodeStrs fully decodes a string column, counting the decode in st.
+func decodeStrs(meta *colstore.Meta, col int, st *ScanStats) []string {
+	if st != nil {
+		st.VecDecodes++
+	}
+	return meta.Seg.Cols[col].Strs.DecodeAll(make([]string, 0, meta.Seg.NumRows))
+}
+
+// stringsBytes estimates the resident size of a decoded string vector: the
+// slice headers plus the string payloads.
+func stringsBytes(v []string) int64 {
+	n := 16 * int64(cap(v))
+	for _, s := range v {
+		n += int64(len(s))
+	}
+	return n
+}
+
+// --- scan-path buffer pools --------------------------------------------------
+
+// selPool recycles selection vectors across segments and scans: the scan
+// path previously allocated one NumRows-capacity []int32 per segment per
+// query, which dominated allocation counts on warm scans.
+var selPool = sync.Pool{New: func() any { return new([]int32) }}
+
+// getSel borrows a selection-vector buffer with at least the given
+// capacity; the returned slice is empty.
+func getSel(capHint int) *[]int32 {
+	p := selPool.Get().(*[]int32)
+	if cap(*p) < capHint {
+		*p = make([]int32, 0, capHint)
+	}
+	return p
+}
+
+// putSel returns a selection-vector buffer to the pool.
+func putSel(p *[]int32) {
+	*p = (*p)[:0]
+	selPool.Put(p)
+}
+
+// rowPool recycles materializer row buffers. Rows handed to scan callbacks
+// are only valid until the callback returns (the documented iterator
+// contract), so the scan recycles them once a segment's callback finishes.
+var rowPool = sync.Pool{New: func() any { return new(types.Row) }}
+
+// getRow borrows a zeroed row buffer of length n.
+func getRow(n int) *types.Row {
+	p := rowPool.Get().(*types.Row)
+	r := *p
+	if cap(r) < n {
+		r = make(types.Row, n)
+	}
+	r = r[:n]
+	for i := range r {
+		r[i] = types.Value{}
+	}
+	*p = r
+	return p
+}
+
+// putRow returns a row buffer to the pool.
+func putRow(p *types.Row) { rowPool.Put(p) }

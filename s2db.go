@@ -24,6 +24,7 @@ import (
 	"s2db/internal/blob"
 	"s2db/internal/cluster"
 	"s2db/internal/core"
+	"s2db/internal/exec"
 	"s2db/internal/types"
 )
 
@@ -90,6 +91,12 @@ type Config struct {
 	BlobPutLatency, BlobGetLatency time.Duration
 	// CacheBytes bounds the per-partition local data-file cache.
 	CacheBytes int
+	// VectorCacheBytes bounds the process-wide decoded-vector cache: an LRU
+	// of fully decoded column vectors shared across queries (and across the
+	// parallel scheduler's workers) so repeated scans of immutable segments
+	// skip decoding entirely. 0 uses DefaultVectorCacheBytes; negative
+	// disables the cache (scans fall back to private per-query decodes).
+	VectorCacheBytes int
 	// CommitToBlob forces the cloud-data-warehouse commit path (used by
 	// the ablation experiments; S2DB's design keeps it off).
 	CommitToBlob bool
@@ -116,10 +123,27 @@ func NewMemoryBlobStore() BlobStore { return blob.NewMemory() }
 // survive the process.
 func NewDiskBlobStore(dir string) (BlobStore, error) { return blob.NewDisk(dir) }
 
+// DefaultVectorCacheBytes sizes the decoded-vector cache when
+// Config.VectorCacheBytes is zero.
+const DefaultVectorCacheBytes = 64 << 20
+
+// VectorCacheStats snapshots the decoded-vector cache counters.
+type VectorCacheStats = exec.VecCacheStats
+
 // DB is a running database.
 type DB struct {
 	cluster *cluster.Cluster
 	cfg     Config
+	vec     *exec.VecCache
+}
+
+// newVecCache resolves the VectorCacheBytes knob: 0 = default, <0 =
+// disabled (nil cache).
+func newVecCache(bytes int) *exec.VecCache {
+	if bytes == 0 {
+		bytes = DefaultVectorCacheBytes
+	}
+	return exec.NewVecCache(bytes) // nil when bytes < 0
 }
 
 // Open creates and starts a database.
@@ -132,7 +156,8 @@ func Open(cfg Config) (*DB, error) {
 	if cfg.CommitToBlob {
 		mode = cluster.CommitBlob
 	}
-	c, err := cluster.New(cluster.Config{
+	vec := newVecCache(cfg.VectorCacheBytes)
+	ccfg := cluster.Config{
 		Name:               cfg.Name,
 		Partitions:         cfg.Partitions,
 		SyncReplicas:       cfg.SyncReplicas,
@@ -144,12 +169,22 @@ func Open(cfg Config) (*DB, error) {
 			MaxSegmentRows: cfg.MaxSegmentRows,
 			Background:     cfg.BackgroundMaintenance,
 		},
-	})
+	}
+	if vec != nil {
+		// Assigned only when enabled so a disabled cache stays a nil
+		// interface (not a typed-nil *VecCache) inside core.
+		ccfg.DecodedCache = vec
+	}
+	c, err := cluster.New(ccfg)
 	if err != nil {
 		return nil, err
 	}
-	return &DB{cluster: c, cfg: cfg}, nil
+	return &DB{cluster: c, cfg: cfg, vec: vec}, nil
 }
+
+// VectorCacheStats returns the decoded-vector cache counters; all zero
+// when the cache is disabled.
+func (db *DB) VectorCacheStats() VectorCacheStats { return db.vec.Stats() }
 
 // Close stops the database.
 func (db *DB) Close() { db.cluster.Close() }
@@ -232,13 +267,18 @@ func PointInTimeRestore(cfg Config, catalog map[string]*Schema, target time.Time
 	if cfg.BlobStore == nil {
 		return nil, fmt.Errorf("s2db: point-in-time restore requires a blob store")
 	}
-	c, err := cluster.PointInTimeRestore(cluster.Config{
+	vec := newVecCache(cfg.VectorCacheBytes)
+	ccfg := cluster.Config{
 		Name:       cfg.Name,
 		Partitions: cfg.Partitions,
 		Blob:       cfg.BlobStore,
 		CacheBytes: cfg.CacheBytes,
 		Table:      core.Config{MaxSegmentRows: cfg.MaxSegmentRows},
-	}, target)
+	}
+	if vec != nil {
+		ccfg.DecodedCache = vec
+	}
+	c, err := cluster.PointInTimeRestore(ccfg, target)
 	if err != nil {
 		return nil, err
 	}
@@ -246,5 +286,5 @@ func PointInTimeRestore(cfg Config, catalog map[string]*Schema, target time.Time
 		c.Close()
 		return nil, err
 	}
-	return &DB{cluster: c, cfg: cfg}, nil
+	return &DB{cluster: c, cfg: cfg, vec: vec}, nil
 }
