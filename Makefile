@@ -1,9 +1,14 @@
 # Tier-1 gate: every change must pass `make check` — build, vet, and the
 # full test suite under the race detector (the parallel fan-out scheduler
 # runs on every query, so -race is part of the gate, not an extra).
-.PHONY: check build vet test race bench benchall
+.PHONY: check build vet test race racewal bench benchgc benchall
 
 check: build vet race
+
+# racewal is the focused replication-pipeline gate: the WAL page/group
+# commit machinery and its cluster consumers under the race detector.
+racewal:
+	go test -race ./internal/wal/... ./internal/cluster/...
 
 build:
 	go build ./...
@@ -21,6 +26,12 @@ race:
 # numbers (ns/op, allocs/op, hit rate) for the scan and fan-out paths.
 bench:
 	go run ./cmd/s2bench -exp veccache -out BENCH_PR2.json
+
+# benchgc regenerates BENCH_PR3.json: multi-writer commit throughput with
+# 2 sync replicas at 1ms link latency, per-record vs group-commit pages,
+# plus the durable-watermark recompute before/after numbers.
+benchgc:
+	go run ./cmd/s2bench -exp groupcommit -out BENCH_PR3.json
 
 # benchall runs the full Go benchmark suite (paper tables + ablations).
 benchall:

@@ -1,0 +1,277 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"s2db"
+)
+
+// groupCommitBench measures page-based group commit (PR 3): concurrent
+// writers committing through 2 sync replicas behind a 1ms simulated link,
+// per-record pages (the seed behavior) versus group-commit pages, plus a
+// micro-benchmark of the durable-watermark recompute before/after the
+// sorted-ack rewrite. Results land in BENCH_PR3.json.
+func groupCommitBench(out string, duration time.Duration) error {
+	type result struct {
+		Name             string  `json:"name"`
+		Writers          int     `json:"writers"`
+		SyncReplicas     int     `json:"sync_replicas"`
+		ReplicationLatMs float64 `json:"replication_latency_ms"`
+		GroupCommitUs    float64 `json:"group_commit_interval_us"`
+		LogPageBytes     int     `json:"log_page_bytes"`
+		Commits          int64   `json:"commits"`
+		CommitsPerSec    float64 `json:"commits_per_sec"`
+		PagesSealed      int     `json:"pages_sealed"`
+		RecordsPerPage   float64 `json:"records_per_page"`
+		MaxLagRecords    int     `json:"max_lag_records"`
+		MaxLagPages      int     `json:"max_lag_pages"`
+		MaxLagBytes      int     `json:"max_lag_bytes"`
+	}
+	const writers = 8
+	const latency = time.Millisecond
+
+	measure := func(name string, interval time.Duration, pageBytes int) (result, error) {
+		res := result{
+			Name: name, Writers: writers, SyncReplicas: 2,
+			ReplicationLatMs: float64(latency) / float64(time.Millisecond),
+			GroupCommitUs:    float64(interval) / float64(time.Microsecond),
+			LogPageBytes:     pageBytes,
+		}
+		db, err := s2db.Open(s2db.Config{
+			Partitions: 1, SyncReplicas: 2,
+			ReplicationLatency:  latency,
+			GroupCommitInterval: interval,
+			LogPageBytes:        pageBytes,
+		})
+		if err != nil {
+			return res, err
+		}
+		defer db.Close()
+		schema := s2db.NewSchema(
+			s2db.Column{Name: "id", Type: s2db.Int64T},
+			s2db.Column{Name: "seq", Type: s2db.Int64T},
+		)
+		schema.UniqueKey = []int{0}
+		schema.ShardKey = []int{0}
+		if err := db.CreateTable("commits", schema); err != nil {
+			return res, err
+		}
+		// Sample replication lag while the writers run: group commit must
+		// keep the page/byte backlog bounded, and the detail metric is how
+		// an operator would watch it.
+		stop := make(chan struct{})
+		var monWg sync.WaitGroup
+		monWg.Add(1)
+		go func() {
+			defer monWg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-time.After(2 * time.Millisecond):
+				}
+				recs, pages, bytes := db.Cluster().ReplicationLagDetail()
+				if recs > res.MaxLagRecords {
+					res.MaxLagRecords = recs
+				}
+				if pages > res.MaxLagPages {
+					res.MaxLagPages = pages
+				}
+				if bytes > res.MaxLagBytes {
+					res.MaxLagBytes = bytes
+				}
+			}
+		}()
+		var commits int64
+		errCh := make(chan error, writers)
+		deadline := time.Now().Add(duration)
+		start := time.Now()
+		var wg sync.WaitGroup
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for seq := 0; time.Now().Before(deadline); seq++ {
+					id := int64(w)<<32 | int64(seq)
+					if err := db.Insert("commits", s2db.Row{s2db.Int(id), s2db.Int(int64(seq))}); err != nil {
+						errCh <- err
+						return
+					}
+					atomic.AddInt64(&commits, 1)
+				}
+			}(w)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		close(stop)
+		monWg.Wait()
+		close(errCh)
+		for err := range errCh {
+			return res, err
+		}
+		log := db.Cluster().Master(0).Log()
+		res.Commits = commits
+		res.CommitsPerSec = float64(commits) / elapsed.Seconds()
+		res.PagesSealed = int(log.PagesSealed())
+		if res.PagesSealed > 0 {
+			res.RecordsPerPage = float64(log.Head()) / float64(res.PagesSealed)
+		}
+		fmt.Printf("%-28s %9.0f commits/s  %6d pages  %5.1f recs/page  lag max %d recs / %d pages / %d bytes\n",
+			name, res.CommitsPerSec, res.PagesSealed, res.RecordsPerPage,
+			res.MaxLagRecords, res.MaxLagPages, res.MaxLagBytes)
+		return res, nil
+	}
+
+	perRecord, err := measure("commit/per-record", 0, 0)
+	if err != nil {
+		return err
+	}
+	grouped, err := measure("commit/group-500us", 500*time.Microsecond, 64<<10)
+	if err != nil {
+		return err
+	}
+	speedup := grouped.CommitsPerSec / perRecord.CommitsPerSec
+
+	seedNs, pagedNs := recomputeBench()
+	fmt.Printf("recompute: per-record acks %.0f ns/record -> per-page acks %.0f ns/record\n", seedNs, pagedNs)
+
+	payload := map[string]any{
+		"benchmark":  "page-based group commit (PR 3)",
+		"command":    "s2bench -exp groupcommit",
+		"benchmarks": []result{perRecord, grouped},
+		"recompute_durable": map[string]any{
+			"seed_per_record_acks_ns_per_record": seedNs,
+			"paged_coalesced_acks_ns_per_record": pagedNs,
+			"speedup":                            seedNs / pagedNs,
+		},
+		"acceptance": map[string]any{
+			"group_commit_speedup":       speedup,
+			"group_commit_speedup_ge_2x": speedup >= 2,
+			"lag_reported_in_pages":      grouped.MaxLagPages >= 0,
+			"lag_reported_in_bytes":      grouped.MaxLagBytes >= 0,
+		},
+	}
+	data, err := json.MarshalIndent(payload, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("group commit speedup: %.2fx\nwrote %s\n", speedup, out)
+	return nil
+}
+
+// seedDurability reimplements the seed's durable-watermark recompute: a
+// fresh ack slice plus partial selection sort on every ack, and a channel
+// closed and recreated on every advance whether or not anyone is waiting.
+type seedDurability struct {
+	mu         sync.Mutex
+	acks       map[int]uint64
+	minSyncers int
+	durable    uint64
+	durableCh  chan struct{}
+}
+
+func (s *seedDurability) ack(id int, lsn uint64) {
+	s.mu.Lock()
+	if lsn > s.acks[id] {
+		s.acks[id] = lsn
+	}
+	acked := make([]uint64, 0, len(s.acks))
+	for _, l := range s.acks {
+		acked = append(acked, l)
+	}
+	if len(acked) >= s.minSyncers {
+		for i := 0; i < s.minSyncers; i++ {
+			for j := i + 1; j < len(acked); j++ {
+				if acked[j] > acked[i] {
+					acked[j], acked[i] = acked[i], acked[j]
+				}
+			}
+		}
+		if nd := acked[s.minSyncers-1]; nd > s.durable {
+			s.durable = nd
+			close(s.durableCh)
+			s.durableCh = make(chan struct{})
+		}
+	}
+	s.mu.Unlock()
+}
+
+// pagedDurability mirrors the rewritten recompute: ack-increase fast path,
+// a reused scratch slice with sort.Slice, and channel churn gated on
+// registered waiters.
+type pagedDurability struct {
+	mu         sync.Mutex
+	acks       map[int]uint64
+	scratch    []uint64
+	minSyncers int
+	durable    uint64
+	waiters    int
+	durableCh  chan struct{}
+}
+
+func (p *pagedDurability) ack(id int, lsn uint64) {
+	p.mu.Lock()
+	if lsn <= p.acks[id] {
+		p.mu.Unlock()
+		return
+	}
+	p.acks[id] = lsn
+	acked := p.scratch[:0]
+	for _, l := range p.acks {
+		acked = append(acked, l)
+	}
+	p.scratch = acked
+	if len(acked) >= p.minSyncers {
+		sort.Slice(acked, func(i, j int) bool { return acked[i] > acked[j] })
+		if nd := acked[p.minSyncers-1]; nd > p.durable {
+			p.durable = nd
+			if p.waiters > 0 {
+				close(p.durableCh)
+				p.durableCh = make(chan struct{})
+			}
+		}
+	}
+	p.mu.Unlock()
+}
+
+// recomputeBench measures the per-committed-record cost of the durable
+// watermark machinery before and after the refactor, with 4 sync replicas
+// and one registered commit waiter. Seed: every record draws one ack per
+// replica, each ack re-running the selection-sort recompute and churning
+// the broadcast channel. Paged: replicas ack once per sealed page (16
+// records here), the recompute reuses its scratch slice, and the channel
+// only churns for registered waiters.
+func recomputeBench() (seedNs, pagedNs float64) {
+	const replicas = 4
+	const recordsPerPage = 16
+	seed := &seedDurability{acks: map[int]uint64{}, minSyncers: replicas, durableCh: make(chan struct{})}
+	rs := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for r := 1; r <= replicas; r++ {
+				seed.ack(r, uint64(i+1))
+			}
+		}
+	})
+	paged := &pagedDurability{acks: map[int]uint64{}, minSyncers: replicas, waiters: 1, durableCh: make(chan struct{})}
+	rp := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if (i+1)%recordsPerPage == 0 {
+				for r := 1; r <= replicas; r++ {
+					paged.ack(r, uint64(i+1))
+				}
+			}
+		}
+	})
+	return float64(rs.T.Nanoseconds()) / float64(rs.N), float64(rp.T.Nanoseconds()) / float64(rp.N)
+}

@@ -7,7 +7,8 @@
 //	s2bench -exp figure5   # TPC-C + TPC-H cross-engine summary (Figure 5)
 //	s2bench -exp table3    # CH-BenCHmark mixed workload (Table 3)
 //	s2bench -exp veccache  # decoded-vector cache cold/warm (BENCH_PR2.json)
-//	s2bench -exp all       # every table/figure (veccache stays opt-in)
+//	s2bench -exp groupcommit # page-based group commit (BENCH_PR3.json)
+//	s2bench -exp all       # every table/figure (JSON experiments stay opt-in)
 //
 // Absolute numbers are laptop-scale; compare shapes against the paper (see
 // EXPERIMENTS.md).
@@ -31,19 +32,34 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, table2, figure4, figure5, table3, veccache, all")
-	out := flag.String("out", "BENCH_PR2.json", "output path for -exp veccache results")
+	exp := flag.String("exp", "all", "experiment: table1, table2, figure4, figure5, table3, veccache, groupcommit, all")
+	out := flag.String("out", "", "output path for -exp veccache (BENCH_PR2.json) or -exp groupcommit (BENCH_PR3.json)")
 	sf := flag.Float64("sf", 0.01, "TPC-H scale factor")
 	warehouses := flag.Int("warehouses", 2, "TPC-C warehouses")
 	duration := flag.Duration("duration", 3*time.Second, "per-measurement duration")
 	seed := flag.Int64("seed", 1, "data generation seed")
 	flag.Parse()
 
-	// veccache writes a JSON artifact, so it runs only when asked for
-	// explicitly (not under -exp all).
+	// veccache and groupcommit write JSON artifacts, so they run only when
+	// asked for explicitly (not under -exp all).
 	if *exp == "veccache" {
-		if err := veccacheBench(*out); err != nil {
+		path := *out
+		if path == "" {
+			path = "BENCH_PR2.json"
+		}
+		if err := veccacheBench(path); err != nil {
 			fmt.Fprintf(os.Stderr, "veccache: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *exp == "groupcommit" {
+		path := *out
+		if path == "" {
+			path = "BENCH_PR3.json"
+		}
+		if err := groupCommitBench(path, *duration); err != nil {
+			fmt.Fprintf(os.Stderr, "groupcommit: %v\n", err)
 			os.Exit(1)
 		}
 		return

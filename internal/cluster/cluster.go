@@ -9,6 +9,7 @@ import (
 	"s2db/internal/blob"
 	"s2db/internal/core"
 	"s2db/internal/types"
+	"s2db/internal/wal"
 )
 
 // Config describes a cluster.
@@ -40,6 +41,26 @@ type Config struct {
 	CommitTimeout time.Duration
 	// ChunkRecords and SnapshotEvery tune blob staging.
 	ChunkRecords, SnapshotEvery int
+	// LogPageBytes caps a replication log page; a page seals once its
+	// records reach this size. Zero uses the WAL default (64KiB).
+	LogPageBytes int
+	// GroupCommitInterval is the page-seal timer: concurrent writers'
+	// records batch into one page for up to this long, then ship, ack and
+	// release their durability waits together. Zero seals a page per
+	// record (the per-record seed behavior).
+	GroupCommitInterval time.Duration
+	// SubscriptionBudget bounds the bytes a replication subscription may
+	// buffer before it is detached as a slow consumer. Zero uses the WAL
+	// default (256MiB).
+	SubscriptionBudget int
+}
+
+func (c Config) pageConfig() wal.PageConfig {
+	return wal.PageConfig{
+		MaxBytes:           c.LogPageBytes,
+		FlushInterval:      c.GroupCommitInterval,
+		SubscriptionBudget: c.SubscriptionBudget,
+	}
 }
 
 func (c Config) withDefaults() Config {
@@ -87,7 +108,7 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	for i := 0; i < cfg.Partitions; i++ {
 		files := NewPartitionFiles(c.blobPrefix(i), cfg.Blob, cfg.CacheBytes)
-		p := newPartition(cfg.Name, i, RoleMaster, cfg.Table, files, cfg.CommitMode, 0)
+		p := newPartition(cfg.Name, i, RoleMaster, cfg.Table, files, cfg.CommitMode, 0, cfg.pageConfig())
 		p.setMinSyncers(cfg.SyncReplicas)
 		c.masters = append(c.masters, p)
 		var reps []*Partition
@@ -124,7 +145,7 @@ func (c *Cluster) newReplicaPartition(part int) *Partition {
 	tcfg := c.cfg.Table
 	tcfg.Background = false
 	files := NewPartitionFiles(c.blobPrefix(part), c.cfg.Blob, c.cfg.CacheBytes)
-	return newPartition(c.cfg.Name, part, RoleReplica, tcfg, files, c.cfg.CommitMode, 0)
+	return newPartition(c.cfg.Name, part, RoleReplica, tcfg, files, c.cfg.CommitMode, 0, c.cfg.pageConfig())
 }
 
 // Partitions returns the number of partitions.
@@ -450,17 +471,30 @@ func (c *Cluster) FailMaster(pi int) error {
 // ReplicationLag reports the maximum pending-record lag across all HA
 // replica links of the cluster.
 func (c *Cluster) ReplicationLag() int {
+	lag, _, _ := c.ReplicationLagDetail()
+	return lag
+}
+
+// ReplicationLagDetail reports the maximum lag across all HA replica links
+// in records, pages and accounting bytes (the page pipeline's native lag
+// units; Table 3 discussion).
+func (c *Cluster) ReplicationLagDetail() (records, pages, bytes int) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	lag := 0
 	for _, links := range c.links {
 		for _, l := range links {
-			if n := l.Lag(); n > lag {
-				lag = n
+			if n := l.Lag(); n > records {
+				records = n
+			}
+			if n := l.LagPages(); n > pages {
+				pages = n
+			}
+			if n := l.LagBytes(); n > bytes {
+				bytes = n
 			}
 		}
 	}
-	return lag
+	return records, pages, bytes
 }
 
 // Close stops everything.

@@ -9,6 +9,7 @@ package cluster
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -61,47 +62,55 @@ type Partition struct {
 
 	tableCfg core.Config
 
-	// Durability machinery (master only).
-	commitMode CommitMode
-	durableMu  sync.Mutex
-	durableCh  chan struct{} // closed and replaced on watermark advance
-	acks       map[int]uint64
-	minSyncers int
+	// Durability machinery (master only). durableCh is closed and replaced
+	// on watermark advance, but only while durableWaiters > 0 — page-batched
+	// acks would otherwise churn a channel per advance with nobody waiting.
+	commitMode     CommitMode
+	durableMu      sync.Mutex
+	durableCh      chan struct{}
+	durableWaiters int
+	durableNotify  chan struct{} // capacity-1 edge trigger for the stager
+	acks           map[int]uint64
+	ackScratch     []uint64 // reused by recomputeDurableLocked
+	minSyncers     int
 
 	// uploadedLSN advances as log chunks reach blob storage.
-	uploadedMu sync.Mutex
-	uploaded   uint64
-	uploadedCh chan struct{}
+	uploadedMu      sync.Mutex
+	uploaded        uint64
+	uploadedCh      chan struct{}
+	uploadedWaiters int
 
 	// appliedLSN is maintained on replicas.
-	appliedMu sync.Mutex
-	applied   uint64
-	appliedCh chan struct{}
+	appliedMu      sync.Mutex
+	applied        uint64
+	appliedCh      chan struct{}
+	appliedWaiters int
 
 	closed chan struct{}
 	wg     sync.WaitGroup
 }
 
-func newPartition(db string, id int, role Role, tableCfg core.Config, files *PartitionFiles, commitMode CommitMode, logBase uint64) *Partition {
+func newPartition(db string, id int, role Role, tableCfg core.Config, files *PartitionFiles, commitMode CommitMode, logBase uint64, pageCfg wal.PageConfig) *Partition {
 	oracle := &txn.Oracle{}
-	log := wal.NewLog()
+	log := wal.NewLogWith(pageCfg)
 	if logBase > 0 {
 		log.TruncateBefore(logBase) // aligns a replica log with the master's LSN space
 	}
 	p := &Partition{
 		ID: id, DB: db, role: role,
-		oracle:     oracle,
-		committer:  core.NewCommitter(oracle),
-		log:        log,
-		files:      files,
-		tables:     make(map[string]*core.Table),
-		tableCfg:   tableCfg,
-		commitMode: commitMode,
-		durableCh:  make(chan struct{}),
-		uploadedCh: make(chan struct{}),
-		appliedCh:  make(chan struct{}),
-		acks:       make(map[int]uint64),
-		closed:     make(chan struct{}),
+		oracle:        oracle,
+		committer:     core.NewCommitter(oracle),
+		log:           log,
+		files:         files,
+		tables:        make(map[string]*core.Table),
+		tableCfg:      tableCfg,
+		commitMode:    commitMode,
+		durableCh:     make(chan struct{}),
+		durableNotify: make(chan struct{}, 1),
+		uploadedCh:    make(chan struct{}),
+		appliedCh:     make(chan struct{}),
+		acks:          make(map[int]uint64),
+		closed:        make(chan struct{}),
 	}
 	return p
 }
@@ -167,13 +176,14 @@ func (p *Partition) setMinSyncers(n int) {
 
 // Ack records a sync replica's received-LSN and advances the durable
 // watermark ("data is considered committed when it is replicated in-memory
-// to at least one replica partition", §3).
+// to at least one replica partition", §3). Links ack once per shipped page,
+// so one recompute covers every record in the page.
 func (p *Partition) Ack(replicaID int, lsn uint64) {
 	p.durableMu.Lock()
 	if lsn > p.acks[replicaID] {
 		p.acks[replicaID] = lsn
+		p.recomputeDurableLocked()
 	}
-	p.recomputeDurableLocked()
 	p.durableMu.Unlock()
 }
 
@@ -184,30 +194,34 @@ func (p *Partition) recomputeDurableLocked() {
 	if p.minSyncers <= 0 {
 		newDurable = p.log.Head()
 	} else {
-		// Collect acks and take the minSyncers-th largest.
-		acked := make([]uint64, 0, len(p.acks))
+		if len(p.acks) < p.minSyncers {
+			return
+		}
+		acked := p.ackScratch[:0]
 		for _, l := range p.acks {
 			acked = append(acked, l)
 		}
-		if len(acked) < p.minSyncers {
-			return
-		}
-		for i := 0; i < p.minSyncers; i++ {
-			maxIdx := i
-			for j := i + 1; j < len(acked); j++ {
-				if acked[j] > acked[maxIdx] {
-					acked[j], acked[maxIdx] = acked[maxIdx], acked[j]
-				}
-			}
-		}
+		p.ackScratch = acked
+		sort.Slice(acked, func(i, j int) bool { return acked[i] > acked[j] })
 		newDurable = acked[p.minSyncers-1]
 	}
 	if newDurable > p.log.Durable() {
 		p.log.MarkDurable(newDurable)
-		close(p.durableCh)
-		p.durableCh = make(chan struct{})
+		if p.durableWaiters > 0 {
+			close(p.durableCh)
+			p.durableCh = make(chan struct{})
+		}
+		select {
+		case p.durableNotify <- struct{}{}:
+		default:
+		}
 	}
 }
+
+// DurableNotify returns a capacity-1 channel that receives (at least) one
+// token per durable-watermark advance; the stager blocks on it instead of
+// polling.
+func (p *Partition) DurableNotify() <-chan struct{} { return p.durableNotify }
 
 // NoteAppend is called after a local append when the partition has no sync
 // replicas, so single-node durability advances immediately.
@@ -225,24 +239,40 @@ func (p *Partition) WaitDurable(lsn uint64, timeout time.Duration) error {
 		if p.commitMode == CommitBlob {
 			p.uploadedMu.Lock()
 			ok := p.uploaded > lsn
-			ch := p.uploadedCh
+			var ch chan struct{}
+			if !ok {
+				p.uploadedWaiters++
+				ch = p.uploadedCh
+			}
 			p.uploadedMu.Unlock()
 			if ok {
 				return nil
 			}
-			if !waitCh(ch, deadline) {
+			woke := waitCh(ch, deadline)
+			p.uploadedMu.Lock()
+			p.uploadedWaiters--
+			p.uploadedMu.Unlock()
+			if !woke {
 				return fmt.Errorf("partition %d: blob-commit wait timed out at LSN %d", p.ID, lsn)
 			}
 			continue
 		}
 		p.durableMu.Lock()
 		ok := p.log.Durable() > lsn
-		ch := p.durableCh
+		var ch chan struct{}
+		if !ok {
+			p.durableWaiters++
+			ch = p.durableCh
+		}
 		p.durableMu.Unlock()
 		if ok {
 			return nil
 		}
-		if !waitCh(ch, deadline) {
+		woke := waitCh(ch, deadline)
+		p.durableMu.Lock()
+		p.durableWaiters--
+		p.durableMu.Unlock()
+		if !woke {
 			return fmt.Errorf("partition %d: replication wait timed out at LSN %d", p.ID, lsn)
 		}
 	}
@@ -268,8 +298,10 @@ func (p *Partition) markUploaded(lsn uint64) {
 	p.uploadedMu.Lock()
 	if lsn > p.uploaded {
 		p.uploaded = lsn
-		close(p.uploadedCh)
-		p.uploadedCh = make(chan struct{})
+		if p.uploadedWaiters > 0 {
+			close(p.uploadedCh)
+			p.uploadedCh = make(chan struct{})
+		}
 	}
 	p.uploadedMu.Unlock()
 }
@@ -286,8 +318,10 @@ func (p *Partition) markApplied(lsn uint64) {
 	p.appliedMu.Lock()
 	if lsn > p.applied {
 		p.applied = lsn
-		close(p.appliedCh)
-		p.appliedCh = make(chan struct{})
+		if p.appliedWaiters > 0 {
+			close(p.appliedCh)
+			p.appliedCh = make(chan struct{})
+		}
 	}
 	p.appliedMu.Unlock()
 }
@@ -305,12 +339,20 @@ func (p *Partition) WaitApplied(lsn uint64, timeout time.Duration) error {
 	for {
 		p.appliedMu.Lock()
 		ok := p.applied >= lsn
-		ch := p.appliedCh
+		var ch chan struct{}
+		if !ok {
+			p.appliedWaiters++
+			ch = p.appliedCh
+		}
 		p.appliedMu.Unlock()
 		if ok {
 			return nil
 		}
-		if !waitCh(ch, deadline) {
+		woke := waitCh(ch, deadline)
+		p.appliedMu.Lock()
+		p.appliedWaiters--
+		p.appliedMu.Unlock()
+		if !woke {
 			return fmt.Errorf("partition %d: apply wait timed out at LSN %d", p.ID, lsn)
 		}
 	}
@@ -320,6 +362,30 @@ func (p *Partition) WaitApplied(lsn uint64, timeout time.Duration) error {
 // record is appended to the local log (keeping LSNs aligned for future
 // promotion) and applied to the right table.
 func (p *Partition) ApplyRecord(rec wal.Record) error {
+	if err := p.applyOne(rec); err != nil {
+		return err
+	}
+	p.markApplied(rec.LSN + 1)
+	return nil
+}
+
+// ApplyPage replays a shipped log page and advances the applied watermark
+// once for the whole page. A mid-page apply error still publishes the
+// records applied so far.
+func (p *Partition) ApplyPage(pg wal.Page) error {
+	for i := range pg.Records {
+		if err := p.applyOne(pg.Records[i]); err != nil {
+			if i > 0 {
+				p.markApplied(pg.Records[i-1].LSN + 1)
+			}
+			return err
+		}
+	}
+	p.markApplied(pg.EndLSN)
+	return nil
+}
+
+func (p *Partition) applyOne(rec wal.Record) error {
 	if err := p.log.AppendRecord(rec); err != nil {
 		return fmt.Errorf("partition %d: %w", p.ID, err)
 	}
@@ -331,11 +397,7 @@ func (p *Partition) ApplyRecord(rec wal.Record) error {
 	if err != nil {
 		return err
 	}
-	if err := tbl.Apply(rec); err != nil {
-		return err
-	}
-	p.markApplied(rec.LSN + 1)
-	return nil
+	return tbl.Apply(rec)
 }
 
 // Promote turns a replica into a master (failover, §2): HA replicas are

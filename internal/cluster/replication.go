@@ -8,11 +8,13 @@ import (
 	"s2db/internal/wal"
 )
 
-// Link streams one master partition's log to a replica partition. Records
-// ship as they are appended — before their transactions "commit" in any
-// global sense — which is the out-of-order/early replication property that
-// keeps commit latency low and predictable (§3). Sync links ack receipt
-// (in-memory durability) before applying.
+// Link streams one master partition's log to a replica partition in whole
+// pages: a sealed page ships as soon as the master seals it — before its
+// transactions "commit" in any global sense — which is the out-of-order/
+// early replication property that keeps commit latency low and predictable
+// (§3). Each page pays the injected hop latency once and sync links ack
+// once per page (in-memory durability) before applying, so commit cost
+// amortizes across every writer whose records share the page.
 type Link struct {
 	master  *Partition
 	replica *Partition
@@ -56,8 +58,13 @@ func StartLinkFrom(master, replica *Partition, syncAck bool, latency time.Durati
 func (l *Link) run() {
 	defer l.wg.Done()
 	for {
-		rec, ok := l.sub.Next() // Stop cancels the subscription, waking us
+		pg, ok := l.sub.NextPage() // Stop cancels the subscription, waking us
 		if !ok {
+			// A budget detachment (slow consumer) is a terminal link error;
+			// the owner must re-attach after catching up from blob chunks.
+			if err := l.sub.Err(); err != nil {
+				l.applyErr.Store(err)
+			}
 			return
 		}
 		select {
@@ -66,13 +73,13 @@ func (l *Link) run() {
 		default:
 		}
 		if l.latency > 0 {
-			time.Sleep(l.latency)
+			time.Sleep(l.latency) // one hop for the whole page
 		}
-		// Ack on receipt: the record is now "replicated in-memory" (§3).
+		// Ack on receipt: the page is now "replicated in-memory" (§3).
 		if l.syncAck {
-			l.master.Ack(l.id, rec.LSN+1)
+			l.master.Ack(l.id, pg.EndLSN)
 		}
-		if err := l.replica.ApplyRecord(rec); err != nil {
+		if err := l.replica.ApplyPage(pg); err != nil {
 			l.applyErr.Store(err)
 			return
 		}
@@ -85,6 +92,22 @@ func (l *Link) Lag() int {
 		return 0
 	}
 	return l.sub.Lag()
+}
+
+// LagBytes returns the accounting bytes shipped but not yet consumed.
+func (l *Link) LagBytes() int {
+	if l.sub == nil {
+		return 0
+	}
+	return l.sub.LagBytes()
+}
+
+// LagPages returns the pages shipped but not yet consumed.
+func (l *Link) LagPages() int {
+	if l.sub == nil {
+		return 0
+	}
+	return l.sub.LagPages()
 }
 
 // Err returns a terminal apply error, if any.

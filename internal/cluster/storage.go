@@ -166,35 +166,76 @@ func NewStager(p *Partition, files *PartitionFiles, store blob.Store, chunkRecor
 	}
 }
 
-// Start launches the staging loop.
+// Backoff bounds for staging retries after a blob error (injected outages
+// must not turn the stager into a hot retry loop, §3.1).
+const (
+	stagerBackoffMin = time.Millisecond
+	stagerBackoffMax = 100 * time.Millisecond
+)
+
+// Start launches the staging loop. The loop is event-driven: it blocks on
+// a pending-file signal or a durable-watermark advance instead of polling,
+// and after a blob error it retries with exponential backoff (capped at
+// stagerBackoffMax) until the store recovers.
 func (s *Stager) Start() {
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
-		ticker := time.NewTicker(500 * time.Microsecond)
-		defer ticker.Stop()
+		var backoff time.Duration
+		retry := time.NewTimer(time.Hour)
+		retry.Stop()
+		defer retry.Stop()
+		err := s.step() // catch up on anything staged before Start
 		for {
+			var retryC <-chan time.Time
+			if err != nil {
+				switch {
+				case backoff < stagerBackoffMin:
+					backoff = stagerBackoffMin
+				case backoff < stagerBackoffMax:
+					backoff *= 2
+					if backoff > stagerBackoffMax {
+						backoff = stagerBackoffMax
+					}
+				}
+				retry.Reset(backoff)
+				retryC = retry.C
+			} else {
+				backoff = 0
+			}
 			select {
 			case <-s.stop:
-				s.Step() // final drain
+				s.step() // final drain
 				return
-			case <-ticker.C:
-				s.Step()
 			case <-s.files.pendCh:
-				s.Step()
+			case <-s.part.DurableNotify():
+			case <-retryC:
+				retryC = nil
 			}
+			if retryC != nil {
+				// Woken by new work, not the timer: clear the pending retry
+				// so the next Reset starts from an empty channel.
+				if !retry.Stop() {
+					<-retry.C
+				}
+			}
+			err = s.step()
 		}
 	}()
 }
 
 // Step performs one staging round synchronously (exported for tests and
 // deterministic harness runs).
-func (s *Stager) Step() {
+func (s *Stager) Step() { _ = s.step() }
+
+func (s *Stager) step() error {
 	if s.store == nil {
-		return
+		return nil
 	}
+	var firstErr error
 	if n, err := s.files.drainPending(); err != nil {
 		s.note(err)
+		firstErr = err
 	} else if n > 0 {
 		s.mu.Lock()
 		s.uploadedFiles += n
@@ -202,26 +243,27 @@ func (s *Stager) Step() {
 	}
 	// Ship log chunks below the durable watermark ("the tail of the log
 	// newer than this position is still receiving active writes, thus
-	// these newer log pages are never uploaded", §3.1).
+	// these newer log pages are never uploaded", §3.1). Chunks are cut on
+	// the sealed-page boundaries replication shipped; only the final chunk
+	// below the watermark may be a partial trailing page.
 	for {
 		uploaded := s.part.Uploaded()
 		durable := s.part.Log().Durable()
 		if durable <= uploaded {
 			break
 		}
-		end := uploaded + uint64(s.chunkRecords)
-		if end > durable {
-			end = durable
-		}
-		recs, err := s.part.Log().Records(uploaded, end)
+		recs, end, err := s.part.Log().ChunkAt(uploaded, durable, s.chunkRecords)
 		if err != nil {
 			s.note(err)
-			return
+			return err
+		}
+		if end <= uploaded {
+			break
 		}
 		key := fmt.Sprintf("log/%016d", uploaded)
 		if err := s.store.Put(s.files.prefix+key, wal.EncodeRecords(recs)); err != nil {
 			s.note(err)
-			return
+			return err
 		}
 		s.part.markUploaded(end)
 		s.mu.Lock()
@@ -233,8 +275,12 @@ func (s *Stager) Step() {
 	if s.part.Uploaded()-s.lastSnapshotLSN >= uint64(s.snapshotEvery) {
 		if err := s.Snapshot(); err != nil {
 			s.note(err)
+			if firstErr == nil {
+				firstErr = err
+			}
 		}
 	}
+	return firstErr
 }
 
 // Snapshot serializes every table at the current snapshot timestamp and

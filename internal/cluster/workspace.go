@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -92,29 +93,62 @@ func (c *Cluster) bootstrapFromBlob(rep *Partition, pi int) (uint64, error) {
 		from = lsn
 	}
 	// Replay log chunks from the snapshot position.
+	return c.replayBlobLog(rep, pi, from)
+}
+
+// replayBlobLog applies blob-staged log chunks with LSN >= from to rep and
+// returns the next LSN the replica needs. Chunks align with sealed log
+// pages, so a chunk may begin below from; those records are skipped.
+func (c *Cluster) replayBlobLog(rep *Partition, pi int, from uint64) (uint64, error) {
+	store := c.cfg.Blob
+	prefix := c.blobPrefix(pi)
 	chunks, err := store.List(prefix + "log/")
 	if err != nil {
-		return 0, err
+		return from, err
 	}
 	for _, key := range chunks {
 		recs, err := decodeChunk(store, key)
 		if err != nil {
-			return 0, err
+			return from, err
 		}
 		for _, rec := range recs {
 			if rec.LSN < from {
 				continue
 			}
 			if rec.LSN > from {
-				return 0, fmt.Errorf("gap in blob log at LSN %d (want %d)", rec.LSN, from)
+				return from, fmt.Errorf("gap in blob log at LSN %d (want %d)", rec.LSN, from)
 			}
 			if err := rep.ApplyRecord(rec); err != nil {
-				return 0, err
+				return from, err
 			}
 			from = rec.LSN + 1
 		}
 	}
 	return from, nil
+}
+
+// resyncLink rebuilds a workspace link that was detached as a slow
+// consumer (wal.ErrSlowConsumer): the replica catches up from blob-staged
+// log chunks until the master's retained log covers the rest, then
+// re-subscribes from its applied position.
+func (c *Cluster) resyncLink(ws *Workspace, pi int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	master := c.masters[pi]
+	rep := ws.parts[pi]
+	ws.links[pi].Stop()
+	if c.cfg.Blob != nil {
+		c.stagers[pi].Step() // stage anything the master may have truncated
+		if _, err := c.replayBlobLog(rep, pi, rep.Applied()); err != nil {
+			return err
+		}
+	}
+	link := StartLinkFrom(master, rep, false, c.cfg.ReplicationLatency, c.replicaID(), rep.Applied())
+	if err := link.Err(); err != nil {
+		return err
+	}
+	ws.links[pi] = link
+	return nil
 }
 
 func decodeChunk(store interface {
@@ -157,12 +191,29 @@ func (w *Workspace) Views(table string) ([]*core.View, error) {
 }
 
 // WaitCaughtUp blocks until every workspace partition has applied the
-// master's current head.
+// master's current head. A link detached as a slow consumer is resynced
+// from blob-staged log chunks and re-attached before waiting.
 func (c *Cluster) WaitCaughtUp(ws *Workspace, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
 	for pi, p := range ws.parts {
-		head := c.Master(pi).Log().Head()
-		if err := p.WaitApplied(head, timeout); err != nil {
+		for {
+			if time.Now().After(deadline) {
+				return fmt.Errorf("workspace %s: partition %d: catch-up timed out", ws.Name, pi)
+			}
+			if errors.Is(ws.links[pi].Err(), wal.ErrSlowConsumer) {
+				if rerr := c.resyncLink(ws, pi); rerr != nil {
+					return fmt.Errorf("workspace %s: partition %d: resync: %w", ws.Name, pi, rerr)
+				}
+			}
+			head := c.Master(pi).Log().Head()
+			err := p.WaitApplied(head, time.Until(deadline))
+			if err == nil {
+				break
+			}
 			if lerr := ws.links[pi].Err(); lerr != nil {
+				if errors.Is(lerr, wal.ErrSlowConsumer) {
+					continue // resync at the top of the loop
+				}
 				return fmt.Errorf("%w (link error: %v)", err, lerr)
 			}
 			return err
@@ -227,7 +278,7 @@ func PointInTimeRestore(cfg Config, target time.Time) (*Cluster, error) {
 		files := NewPartitionFiles(fmt.Sprintf("%s/%d/", cfg.Name, pi), cfg.Blob, cfg.CacheBytes)
 		tcfg := cfg.Table
 		tcfg.Background = false
-		p := newPartition(cfg.Name, pi, RoleMaster, tcfg, files, CommitLocal, 0)
+		p := newPartition(cfg.Name, pi, RoleMaster, tcfg, files, CommitLocal, 0, cfg.pageConfig())
 		p.setMinSyncers(0)
 		restored.masters = append(restored.masters, p)
 		restored.replicas = append(restored.replicas, nil)

@@ -153,13 +153,14 @@ func (t *Table) Flush() (int, error) {
 		return 0, fmt.Errorf("flush %s: save file: %w", t.name, err)
 	}
 	n := seg.NumRows
+	payload := t.encodeLog(&mutation{
+		DeleteKeys: delKeys,
+		NewSegs:    []segInstall{{File: file, Run: run, SegBytes: segBytes}},
+	})
 	t.committer.Commit(func(ts uint64) {
 		t.installSegment(ts, seg, run, file, nil)
 		tx.Commit(ts)
-		t.appendLog(wal.KindFlush, ts, &mutation{
-			DeleteKeys: delKeys,
-			NewSegs:    []segInstall{{File: file, Run: run, SegBytes: segBytes}},
-		})
+		t.appendEncoded(wal.KindFlush, ts, payload)
 	})
 	t.Stats.Flushes.Add(1)
 	t.maybeCompact()

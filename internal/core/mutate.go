@@ -60,13 +60,14 @@ func (t *Table) moveToBuffer(locs []segLoc) error {
 		tx.Abort()
 		return nil
 	}
+	payload := t.encodeLog(m)
 	t.committer.Commit(func(ts uint64) {
 		// Re-check under the commit lock: a move that lost the race must
 		// not double-insert. applySegDeletes chases merge remaps for rows
 		// whose segments were merged since our scan (§4.2).
 		t.applySegDeletes(ts, m.SegDeletes)
 		tx.Commit(ts)
-		t.appendLog(wal.KindMove, ts, m)
+		t.appendEncoded(wal.KindMove, ts, payload)
 	})
 	t.Stats.Moves.Add(int64(inserted))
 	return nil
@@ -227,9 +228,10 @@ func (t *Table) UpdateWhere(w Where, set func(types.Row) types.Row) (int, error)
 		tx.Abort()
 		return 0, nil
 	}
+	payload := t.encodeLog(m)
 	t.committer.Commit(func(ts uint64) {
 		tx.Commit(ts)
-		t.appendLog(wal.KindInsert, ts, m)
+		t.appendEncoded(wal.KindInsert, ts, payload)
 	})
 	t.Stats.Updates.Add(int64(updated))
 	return updated, nil
@@ -283,9 +285,10 @@ func (t *Table) DeleteWhere(w Where) (int, error) {
 		tx.Abort()
 		return 0, nil
 	}
+	payload := t.encodeLog(m)
 	t.committer.Commit(func(ts uint64) {
 		tx.Commit(ts)
-		t.appendLog(wal.KindDelete, ts, m)
+		t.appendEncoded(wal.KindDelete, ts, payload)
 	})
 	t.Stats.Deletes.Add(int64(deleted))
 	return deleted, nil
@@ -433,10 +436,10 @@ func (t *Table) UpdateByUnique(vals []types.Value, set func(types.Row) types.Row
 			tx.Abort()
 			return false, err
 		}
-		m := &mutation{Inserts: []kv{{Key: key, Row: nr}}}
+		payload := t.encodeLog(&mutation{Inserts: []kv{{Key: key, Row: nr}}})
 		t.committer.Commit(func(ts uint64) {
 			tx.Commit(ts)
-			t.appendLog(wal.KindInsert, ts, m)
+			t.appendEncoded(wal.KindInsert, ts, payload)
 		})
 		t.Stats.Updates.Add(1)
 		return true, nil
@@ -483,10 +486,10 @@ func (t *Table) DeleteByUnique(vals []types.Value) (bool, error) {
 			tx.Abort()
 			return false, err
 		}
-		m := &mutation{DeleteKeys: [][]byte{key}}
+		payload := t.encodeLog(&mutation{DeleteKeys: [][]byte{key}})
 		t.committer.Commit(func(ts uint64) {
 			tx.Commit(ts)
-			t.appendLog(wal.KindDelete, ts, m)
+			t.appendEncoded(wal.KindDelete, ts, payload)
 		})
 		t.Stats.Deletes.Add(1)
 		return true, nil

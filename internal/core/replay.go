@@ -226,10 +226,26 @@ func decodeMutation(buf []byte) (*mutation, error) {
 	return m, nil
 }
 
-// appendLog serializes and appends a mutation record for this table.
-func (t *Table) appendLog(kind wal.Kind, ts uint64, m *mutation) uint64 {
+// encodeLog serializes a mutation record payload for this table. The
+// encoding does not depend on the commit timestamp, so writers call it
+// before entering Committer.Commit — the group-commit path keeps only the
+// timestamped append inside the commit critical section, letting concurrent
+// writers' records batch into one log page.
+func (t *Table) encodeLog(m *mutation) []byte {
 	m.Table = t.name
-	return t.log.Append(kind, ts, m.encode())
+	return m.encode()
+}
+
+// appendEncoded appends a pre-encoded mutation payload; call inside
+// Committer.Commit with the timestamp it allocated.
+func (t *Table) appendEncoded(kind wal.Kind, ts uint64, payload []byte) uint64 {
+	return t.log.Append(kind, ts, payload)
+}
+
+// appendLog serializes and appends a mutation record for this table in one
+// step (replay-free paths that are not latency sensitive).
+func (t *Table) appendLog(kind wal.Kind, ts uint64, m *mutation) uint64 {
+	return t.appendEncoded(kind, ts, t.encodeLog(m))
 }
 
 // TableOfRecord extracts the table name from a log record payload, so a

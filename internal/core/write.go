@@ -89,9 +89,10 @@ func (t *Table) InsertBatch(rows []types.Row, opts InsertOptions) (InsertResult,
 			}
 			m.Inserts = append(m.Inserts, kv{Key: key, Row: r})
 		}
+		payload := t.encodeLog(m)
 		res.CommitTS = t.committer.Commit(func(ts uint64) {
 			tx.Commit(ts)
-			res.LSN = t.appendLog(wal.KindInsert, ts, m)
+			res.LSN = t.appendEncoded(wal.KindInsert, ts, payload)
 		})
 		res.Inserted = len(rows)
 		t.Stats.Inserts.Add(int64(len(rows)))
@@ -260,9 +261,10 @@ func (t *Table) InsertBatch(rows []types.Row, opts InsertOptions) (InsertResult,
 		tx.Abort()
 		return res, nil
 	}
+	payload := t.encodeLog(m)
 	res.CommitTS = t.committer.Commit(func(ts uint64) {
 		tx.Commit(ts)
-		res.LSN = t.appendLog(wal.KindInsert, ts, m)
+		res.LSN = t.appendEncoded(wal.KindInsert, ts, payload)
 	})
 	t.Stats.Inserts.Add(int64(res.Inserted))
 	t.Stats.Updates.Add(int64(res.Updated + res.Replaced))
@@ -343,11 +345,12 @@ func (t *Table) BulkLoad(rows []types.Row) error {
 		if err := t.files.SaveFile(file, segBytes); err != nil {
 			return fmt.Errorf("bulk load %s: %w", t.name, err)
 		}
+		payload := t.encodeLog(&mutation{
+			NewSegs: []segInstall{{File: file, Run: run, SegBytes: segBytes}},
+		})
 		t.committer.Commit(func(ts uint64) {
 			t.installSegment(ts, seg, run, file, nil)
-			t.appendLog(wal.KindFlush, ts, &mutation{
-				NewSegs: []segInstall{{File: file, Run: run, SegBytes: segBytes}},
-			})
+			t.appendEncoded(wal.KindFlush, ts, payload)
 		})
 	}
 	t.Stats.Inserts.Add(int64(len(rows)))

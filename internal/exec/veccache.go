@@ -31,6 +31,9 @@ type VecCacheStats struct {
 	// Invalidations counts vectors dropped because a merge retired their
 	// segment.
 	Invalidations int64
+	// AdmissionRejects counts vectors served uncached because they failed
+	// the size-class admission filter (larger than half the budget).
+	AdmissionRejects int64
 	// Entries and Bytes describe the current residency.
 	Entries int
 	Bytes   int64
@@ -74,14 +77,15 @@ type vecEntry struct {
 // result. A nil *VecCache is valid and disables sharing (scans fall back
 // to their private per-scan decode caches).
 type VecCache struct {
-	maxBytes int64
+	maxBytes   int64
+	admitLimit int64 // largest entry the size-class filter admits
 
 	mu       sync.Mutex
 	entries  map[vecKey]*vecEntry
 	lru      *list.List // of *vecEntry, front = most recent
 	curBytes int64
 
-	hits, misses, waits, evictions, invalidations int64
+	hits, misses, waits, evictions, invalidations, admissionRejects int64
 }
 
 // NewVecCache returns a cache bounded to maxBytes of decoded vector data,
@@ -91,9 +95,10 @@ func NewVecCache(maxBytes int) *VecCache {
 		return nil
 	}
 	return &VecCache{
-		maxBytes: int64(maxBytes),
-		entries:  make(map[vecKey]*vecEntry),
-		lru:      list.New(),
+		maxBytes:   int64(maxBytes),
+		admitLimit: int64(maxBytes) / 2,
+		entries:    make(map[vecKey]*vecEntry),
+		lru:        list.New(),
 	}
 }
 
@@ -198,10 +203,12 @@ func (c *VecCache) publish(e *vecEntry, size int64, st *ScanStats) {
 	case c.entries[e.key] != e:
 		// Invalidated (or superseded) while decoding: serve the waiters but
 		// do not install.
-	case size > c.maxBytes:
-		// Larger than the entire budget: caching it would evict everything
-		// for a vector that cannot stay. Serve it uncached.
+	case size > c.admitLimit:
+		// Size-class admission filter: installing a vector bigger than half
+		// the budget (e.g. one near-budget wide-string column) would evict
+		// many small hot vectors to keep a single entry. Serve it uncached.
 		delete(c.entries, e.key)
+		c.admissionRejects++
 	default:
 		e.el = c.lru.PushFront(e)
 		c.curBytes += size
@@ -241,13 +248,14 @@ func (c *VecCache) Stats() VecCacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return VecCacheStats{
-		Hits:          c.hits,
-		Misses:        c.misses,
-		Waits:         c.waits,
-		Evictions:     c.evictions,
-		Invalidations: c.invalidations,
-		Entries:       c.lru.Len(),
-		Bytes:         c.curBytes,
+		Hits:             c.hits,
+		Misses:           c.misses,
+		Waits:            c.waits,
+		Evictions:        c.evictions,
+		Invalidations:    c.invalidations,
+		AdmissionRejects: c.admissionRejects,
+		Entries:          c.lru.Len(),
+		Bytes:            c.curBytes,
 	}
 }
 

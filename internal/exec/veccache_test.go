@@ -120,6 +120,58 @@ func TestVecCacheOversizedVectorNotInstalled(t *testing.T) {
 	}
 }
 
+func TestVecCacheAdmissionFilterProtectsHotSet(t *testing.T) {
+	// Budget holds the whole hot set comfortably: 64-row segments decode to
+	// 512-byte int vectors.
+	cache := NewVecCache(1 << 14)
+	tbl := newCachedTable(t, 64, 512, cache)
+	view := tbl.Snapshot()
+
+	// Warm the hot set.
+	var st ScanStats
+	for _, m := range view.Segs {
+		cache.Ints(m, 2, &st)
+	}
+	hot := cache.Stats()
+	if hot.Entries != len(view.Segs) || hot.Evictions != 0 {
+		t.Fatalf("hot set did not fully install: %+v", hot)
+	}
+
+	// A near-budget wide-string vector must be rejected by the size-class
+	// admission filter instead of evicting the hot set.
+	e, owner := cache.acquire(vecKey{seg: view.Segs[0].Seg, col: 1}, nil)
+	if !owner {
+		t.Fatal("synthetic wide vector should own its decode")
+	}
+	e.strs = []string{"wide"}
+	cache.publish(e, int64(cache.maxBytes)-64, nil)
+
+	s := cache.Stats()
+	if s.AdmissionRejects != 1 {
+		t.Fatalf("admission rejects = %d, want 1", s.AdmissionRejects)
+	}
+	if s.Entries != hot.Entries || s.Evictions != 0 {
+		t.Fatalf("oversized insert disturbed the hot set: %+v (was %+v)", s, hot)
+	}
+
+	// The hot set must still be resident: re-reads hit without decoding.
+	var rest ScanStats
+	for _, m := range view.Segs {
+		cache.Ints(m, 2, &rest)
+	}
+	if rest.VecDecodes != 0 || rest.VecCacheMisses != 0 {
+		t.Fatalf("hot set was evicted by rejected insert: %+v", rest)
+	}
+
+	// The rejected key must not stay registered: a later lookup decodes
+	// fresh rather than waiting on a phantom in-flight entry.
+	var again ScanStats
+	cache.Strs(view.Segs[0], 1, &again)
+	if again.VecCacheMisses != 1 || again.VecDecodes != 1 {
+		t.Fatalf("rejected key stayed registered: %+v", again)
+	}
+}
+
 func TestVecCacheInvalidateMidDecode(t *testing.T) {
 	cache := NewVecCache(1 << 20)
 	tbl := newCachedTable(t, 128, 128, cache)

@@ -1,0 +1,262 @@
+package wal
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func recPayload() []byte { return []byte("abcd") }
+
+// recSize is the accounting size of a test record (4-byte payload).
+const recSize = recordOverhead + 4
+
+func TestPageSealBySize(t *testing.T) {
+	l := NewLogWith(PageConfig{MaxBytes: 3 * recSize, FlushInterval: time.Hour})
+	s, err := l.Subscribe(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		l.Append(KindInsert, uint64(i), recPayload())
+	}
+	for want := uint64(0); want < 6; want += 3 {
+		pg, ok := s.NextPage()
+		if !ok {
+			t.Fatal("subscription ended early")
+		}
+		if pg.FirstLSN != want || pg.EndLSN != want+3 || len(pg.Records) != 3 {
+			t.Fatalf("page = [%d,%d) len %d, want [%d,%d)", pg.FirstLSN, pg.EndLSN, len(pg.Records), want, want+3)
+		}
+		if pg.Bytes != 3*recSize {
+			t.Fatalf("page bytes = %d, want %d", pg.Bytes, 3*recSize)
+		}
+	}
+	if got := l.PagesSealed(); got != 2 {
+		t.Fatalf("pages sealed = %d, want 2", got)
+	}
+}
+
+func TestPageSealByRecordCount(t *testing.T) {
+	l := NewLogWith(PageConfig{MaxBytes: 1 << 20, MaxRecords: 4, FlushInterval: time.Hour})
+	s, _ := l.Subscribe(0)
+	for i := 0; i < 4; i++ {
+		l.Append(KindInsert, uint64(i), recPayload())
+	}
+	pg, ok := s.NextPage()
+	if !ok || pg.FirstLSN != 0 || pg.EndLSN != 4 {
+		t.Fatalf("page = %+v ok=%v, want [0,4)", pg, ok)
+	}
+}
+
+func TestGroupCommitTimerSeals(t *testing.T) {
+	l := NewLogWith(PageConfig{MaxBytes: 1 << 20, MaxRecords: 1 << 20, FlushInterval: 2 * time.Millisecond})
+	s, _ := l.Subscribe(0)
+	l.Append(KindInsert, 1, recPayload())
+	l.Append(KindInsert, 2, recPayload())
+	done := make(chan Page, 1)
+	go func() {
+		pg, _ := s.NextPage()
+		done <- pg
+	}()
+	select {
+	case pg := <-done:
+		if pg.FirstLSN != 0 || pg.EndLSN != 2 {
+			t.Fatalf("timer-sealed page = [%d,%d), want [0,2)", pg.FirstLSN, pg.EndLSN)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("group-commit timer never sealed the open page")
+	}
+}
+
+func TestSyncSealsOpenPage(t *testing.T) {
+	l := NewLogWith(PageConfig{FlushInterval: time.Hour})
+	s, _ := l.Subscribe(0)
+	l.Append(KindInsert, 1, recPayload())
+	if _, ok := s.TryNext(); ok {
+		t.Fatal("open-page record leaked before seal")
+	}
+	l.Sync()
+	rec, ok := s.TryNext()
+	if !ok || rec.LSN != 0 {
+		t.Fatalf("Sync did not flush the open page: %+v ok=%v", rec, ok)
+	}
+}
+
+func TestSubscribeMidOpenPageTrims(t *testing.T) {
+	l := NewLogWith(PageConfig{FlushInterval: time.Hour})
+	for i := 0; i < 5; i++ {
+		l.Append(KindInsert, uint64(i), recPayload())
+	}
+	s, err := l.Subscribe(2) // inside the open page
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Sync()
+	pg, ok := s.NextPage()
+	if !ok || pg.FirstLSN != 2 || pg.EndLSN != 5 {
+		t.Fatalf("trimmed page = [%d,%d) ok=%v, want [2,5)", pg.FirstLSN, pg.EndLSN, ok)
+	}
+	if pg.Records[0].LSN != 2 {
+		t.Fatalf("first record LSN = %d, want 2", pg.Records[0].LSN)
+	}
+}
+
+func TestSubscribeBacklogIsPageAligned(t *testing.T) {
+	l := NewLogWith(PageConfig{MaxRecords: 2, MaxBytes: 1 << 20, FlushInterval: time.Hour})
+	for i := 0; i < 6; i++ {
+		l.Append(KindInsert, uint64(i), recPayload())
+	}
+	s, _ := l.Subscribe(0)
+	if got := s.LagPages(); got != 3 {
+		t.Fatalf("backlog pages = %d, want 3", got)
+	}
+	if got := s.Lag(); got != 6 {
+		t.Fatalf("backlog records = %d, want 6", got)
+	}
+	if got := s.LagBytes(); got != 6*recSize {
+		t.Fatalf("backlog bytes = %d, want %d", got, 6*recSize)
+	}
+}
+
+func TestSlowConsumerDetached(t *testing.T) {
+	l := NewLogWith(PageConfig{SubscriptionBudget: 2 * recSize})
+	s, _ := l.Subscribe(0)
+	// Per-record pages: the third undelivered page exceeds the budget.
+	for i := 0; i < 5; i++ {
+		l.Append(KindInsert, uint64(i), recPayload())
+	}
+	if !errors.Is(s.Err(), ErrSlowConsumer) {
+		t.Fatalf("Err() = %v, want ErrSlowConsumer", s.Err())
+	}
+	// The buffered prefix still drains in order, then the stream ends.
+	var last uint64
+	n := 0
+	for {
+		pg, ok := s.NextPage()
+		if !ok {
+			break
+		}
+		for _, r := range pg.Records {
+			if n > 0 && r.LSN != last+1 {
+				t.Fatalf("out-of-order drain: %d after %d", r.LSN, last)
+			}
+			last = r.LSN
+			n++
+		}
+	}
+	if n == 0 || n >= 5 {
+		t.Fatalf("drained %d records, want a strict prefix of 5", n)
+	}
+	// The log must have dropped the subscription: new appends don't pile up.
+	l.Append(KindInsert, 9, recPayload())
+	if got := s.Lag(); got != 0 {
+		t.Fatalf("detached subscription still receives records: lag %d", got)
+	}
+}
+
+// TestStalledSubscriberUnderConcurrentAppends is the -race test for a
+// stalled subscriber: writers keep appending while the reader sleeps past
+// the budget, then drains whatever was buffered before the detachment.
+func TestStalledSubscriberUnderConcurrentAppends(t *testing.T) {
+	l := NewLogWith(PageConfig{SubscriptionBudget: 8 * recSize})
+	s, err := l.Subscribe(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, perWriter = 4, 200
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				l.Append(KindInsert, 0, recPayload())
+			}
+		}()
+	}
+	// Stall until the budget trips, then drain.
+	deadline := time.After(5 * time.Second)
+	for s.Err() == nil {
+		select {
+		case <-deadline:
+			t.Fatal("stalled subscriber was never detached")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	wg.Wait()
+	prev := int64(-1)
+	for {
+		rec, ok := s.Next()
+		if !ok {
+			break
+		}
+		if int64(rec.LSN) != prev+1 {
+			t.Fatalf("drain out of order: LSN %d after %d", rec.LSN, prev)
+		}
+		prev = int64(rec.LSN)
+	}
+	if !errors.Is(s.Err(), ErrSlowConsumer) {
+		t.Fatalf("Err() = %v, want ErrSlowConsumer", s.Err())
+	}
+	if head := l.Head(); head != writers*perWriter {
+		t.Fatalf("head = %d, want %d (appends must not block on the stalled reader)", head, writers*perWriter)
+	}
+}
+
+func TestChunkAtPageAligned(t *testing.T) {
+	l := NewLogWith(PageConfig{MaxRecords: 3, MaxBytes: 1 << 20, FlushInterval: time.Hour})
+	for i := 0; i < 7; i++ {
+		l.Append(KindInsert, uint64(i), recPayload()) // pages [0,3) [3,6), open [6,7)
+	}
+	recs, end, err := l.ChunkAt(0, 100, 0)
+	if err != nil || end != 3 || len(recs) != 3 {
+		t.Fatalf("ChunkAt(0) = end %d len %d err %v, want page [0,3)", end, len(recs), err)
+	}
+	recs, end, _ = l.ChunkAt(3, 100, 0)
+	if end != 6 || len(recs) != 3 {
+		t.Fatalf("ChunkAt(3) = end %d len %d, want page [3,6)", end, len(recs))
+	}
+	// Partial trailing chunk from the open page, clamped by the limit.
+	recs, end, _ = l.ChunkAt(6, 7, 0)
+	if end != 7 || len(recs) != 1 || recs[0].LSN != 6 {
+		t.Fatalf("ChunkAt(6,7) = end %d len %d, want partial [6,7)", end, len(recs))
+	}
+	if _, end, _ = l.ChunkAt(6, 6, 0); end != 6 {
+		t.Fatalf("ChunkAt(6,6) = end %d, want empty chunk at 6", end)
+	}
+	// maxRecords splits a page into smaller aligned chunks.
+	recs, end, _ = l.ChunkAt(0, 100, 2)
+	if end != 2 || len(recs) != 2 {
+		t.Fatalf("ChunkAt(0,·,2) = end %d len %d, want [0,2)", end, len(recs))
+	}
+	// Mid-page chunk resumes to the same page boundary.
+	recs, end, _ = l.ChunkAt(2, 100, 0)
+	if end != 3 || len(recs) != 1 {
+		t.Fatalf("ChunkAt(2) = end %d len %d, want [2,3)", end, len(recs))
+	}
+}
+
+func TestTruncateBeforeClampsPages(t *testing.T) {
+	l := NewLogWith(PageConfig{MaxRecords: 3, MaxBytes: 1 << 20, FlushInterval: time.Hour})
+	for i := 0; i < 7; i++ {
+		l.Append(KindInsert, uint64(i), recPayload())
+	}
+	l.TruncateBefore(4) // inside page [3,6)
+	if _, _, err := l.ChunkAt(1, 100, 0); err == nil {
+		t.Fatal("ChunkAt below base must error")
+	}
+	recs, end, err := l.ChunkAt(4, 100, 0)
+	if err != nil || end != 6 || len(recs) != 2 || recs[0].LSN != 4 {
+		t.Fatalf("ChunkAt(4) after truncate = end %d len %d err %v, want [4,6)", end, len(recs), err)
+	}
+	// Truncating into the open page keeps the open tail consistent.
+	l.TruncateBefore(7)
+	l.Append(KindInsert, 7, recPayload())
+	l.Sync()
+	recs, end, err = l.ChunkAt(7, 100, 0)
+	if err != nil || end != 8 || len(recs) != 1 || recs[0].LSN != 7 {
+		t.Fatalf("post-truncate chunk = end %d len %d err %v, want [7,8)", end, len(recs), err)
+	}
+}

@@ -3,11 +3,20 @@
 // of the durable prefix to blob storage, and snapshots that bound recovery
 // time. Record payloads are opaque to the log; the table layer defines
 // their encoding.
+//
+// Replication, durability and staging all operate on log *pages* — sealed
+// runs of records with [FirstLSN, EndLSN) — matching §3's "replicates log
+// pages early" design. A page seals when it reaches a byte or record
+// threshold, or when the group-commit timer fires; with a zero
+// FlushInterval every append seals its own page, which reproduces
+// per-record shipping exactly.
 package wal
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 )
@@ -49,34 +58,116 @@ type Record struct {
 	Data     []byte
 }
 
+// recordOverhead approximates the fixed per-record framing cost used for
+// page-size accounting and lag-in-bytes reporting.
+const recordOverhead = 16
+
+// RecordSize is the accounting size of a record: payload plus framing.
+func RecordSize(r Record) int { return recordOverhead + len(r.Data) }
+
+func recsBytes(recs []Record) int {
+	n := 0
+	for i := range recs {
+		n += RecordSize(recs[i])
+	}
+	return n
+}
+
+// ErrSlowConsumer is reported by a Subscription that was detached because
+// its pending pages exceeded the byte budget. The consumer must
+// re-subscribe (typically after catching up from blob-staged chunks).
+var ErrSlowConsumer = errors.New("wal: subscription exceeded its pending byte budget")
+
+// Defaults for PageConfig fields left at zero.
+const (
+	DefaultPageBytes          = 64 << 10
+	DefaultPageRecords        = 1024
+	DefaultSubscriptionBudget = 256 << 20
+)
+
+// PageConfig controls page sealing and subscriber buffering.
+type PageConfig struct {
+	// MaxBytes seals the open page once its records reach this many
+	// accounting bytes. Default 64KiB.
+	MaxBytes int
+	// MaxRecords seals the open page once it holds this many records.
+	// Default 1024.
+	MaxRecords int
+	// FlushInterval is the group-commit timer: the open page seals at most
+	// this long after its first record. Zero seals on every append
+	// (per-record shipping).
+	FlushInterval time.Duration
+	// SubscriptionBudget bounds the bytes a subscription may hold pending
+	// before it is detached with ErrSlowConsumer. Default 256MiB.
+	SubscriptionBudget int
+}
+
+func (c PageConfig) withDefaults() PageConfig {
+	if c.MaxBytes <= 0 {
+		c.MaxBytes = DefaultPageBytes
+	}
+	if c.MaxRecords <= 0 {
+		c.MaxRecords = DefaultPageRecords
+	}
+	if c.SubscriptionBudget <= 0 {
+		c.SubscriptionBudget = DefaultSubscriptionBudget
+	}
+	return c
+}
+
+// Page is a sealed, immutable run of records covering [FirstLSN, EndLSN).
+// Records aliases the log's buffer; records are never mutated after append.
+// Pages are the unit of replication, acknowledgement and blob staging.
+type Page struct {
+	FirstLSN uint64
+	EndLSN   uint64
+	Bytes    int
+	Records  []Record
+}
+
+// pageSpan remembers a sealed page boundary inside the retained buffer so
+// staging can cut blob chunks on the same boundaries replication shipped.
+type pageSpan struct {
+	first, end uint64
+}
+
 // Log is an append-only in-memory record log with a durable watermark.
 // The watermark models §3's rule that only the fully durable and
 // replicated prefix may be uploaded to blob storage.
 type Log struct {
 	mu      sync.Mutex
+	cfg     PageConfig
 	recs    []Record
 	base    uint64 // LSN of recs[0]; records below base were truncated
 	durable uint64 // first non-durable LSN (all records < durable are durable)
 	subs    map[int]*Subscription
 	nextSub int
+
+	sealed      []pageSpan // sealed page boundaries in [base, openStart), ascending
+	openStart   uint64     // first LSN of the open (unsealed) page
+	openBytes   int        // accounting bytes in the open page
+	timerArmed  bool       // a group-commit timer will fire for the open page
+	pagesSealed uint64
 }
 
-// NewLog returns an empty log.
+// NewLog returns an empty log with default paging (seal on every append).
 func NewLog() *Log {
-	return &Log{subs: make(map[int]*Subscription)}
+	return NewLogWith(PageConfig{})
 }
 
-// Append adds a record and returns its LSN. The record is immediately
-// streamed to subscribers (replication replicates log pages early, before
-// commit, §3).
+// NewLogWith returns an empty log with the given page configuration.
+func NewLogWith(cfg PageConfig) *Log {
+	return &Log{cfg: cfg.withDefaults(), subs: make(map[int]*Subscription)}
+}
+
+// Append adds a record and returns its LSN. The record joins the open page,
+// which is streamed to subscribers as soon as it seals (replication
+// replicates log pages early, before commit, §3).
 func (l *Log) Append(kind Kind, commitTS uint64, data []byte) uint64 {
 	l.mu.Lock()
 	lsn := l.base + uint64(len(l.recs))
 	rec := Record{LSN: lsn, Kind: kind, CommitTS: commitTS, Wall: time.Now().UnixNano(), Data: data}
-	l.recs = append(l.recs, rec)
-	for _, s := range l.subs {
-		s.push(rec)
-	}
+	l.appendLocked(rec)
 	l.mu.Unlock()
 	return lsn
 }
@@ -89,11 +180,66 @@ func (l *Log) AppendRecord(rec Record) error {
 	if head := l.base + uint64(len(l.recs)); rec.LSN != head {
 		return fmt.Errorf("wal: AppendRecord LSN %d != head %d", rec.LSN, head)
 	}
-	l.recs = append(l.recs, rec)
-	for _, s := range l.subs {
-		s.push(rec)
-	}
+	l.appendLocked(rec)
 	return nil
+}
+
+func (l *Log) appendLocked(rec Record) {
+	l.recs = append(l.recs, rec)
+	l.openBytes += RecordSize(rec)
+	openRecs := int(l.base + uint64(len(l.recs)) - l.openStart)
+	if l.cfg.FlushInterval <= 0 || l.openBytes >= l.cfg.MaxBytes || openRecs >= l.cfg.MaxRecords {
+		l.sealLocked()
+		return
+	}
+	if !l.timerArmed {
+		l.timerArmed = true
+		time.AfterFunc(l.cfg.FlushInterval, l.timerFlush)
+	}
+}
+
+func (l *Log) timerFlush() {
+	l.mu.Lock()
+	l.timerArmed = false
+	l.sealLocked()
+	l.mu.Unlock()
+}
+
+// Sync seals the open page immediately, flushing any records held back by
+// the group-commit timer to subscribers.
+func (l *Log) Sync() {
+	l.mu.Lock()
+	l.sealLocked()
+	l.mu.Unlock()
+}
+
+// sealLocked closes the open page and offers it to every subscriber. A
+// subscriber over its byte budget is detached here rather than buffering
+// without bound.
+func (l *Log) sealLocked() {
+	head := l.base + uint64(len(l.recs))
+	if l.openStart >= head {
+		return
+	}
+	first, end := l.openStart, head
+	recs := l.recs[first-l.base : end-l.base]
+	pg := Page{FirstLSN: first, EndLSN: end, Bytes: l.openBytes, Records: recs}
+	l.sealed = append(l.sealed, pageSpan{first: first, end: end})
+	l.openStart = end
+	l.openBytes = 0
+	l.pagesSealed++
+	for id, s := range l.subs {
+		if !s.offer(pg) {
+			delete(l.subs, id)
+		}
+	}
+}
+
+// PagesSealed reports how many pages have sealed over the log's lifetime.
+func (l *Log) PagesSealed() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.pagesSealed
 }
 
 // Head returns the next LSN to be assigned.
@@ -145,51 +291,146 @@ func (l *Log) Records(from, to uint64) ([]Record, error) {
 	return out, nil
 }
 
-// Subscription is an unbounded ordered stream of log records. Appends never
-// block on slow subscribers; subscribers pull with Next.
+// ChunkAt returns a copy of records starting at from and ending at the
+// sealed-page boundary containing from, so blob chunks align with the pages
+// replication shipped. When from is past every sealed page, the open tail
+// up to limit is returned as a partial trailing chunk (CommitBlob with no
+// sync replicas advances durability into the open page). maxRecords, if
+// positive, caps the chunk length. end reports the LSN one past the last
+// returned record (== from when nothing is available).
+func (l *Log) ChunkAt(from, limit uint64, maxRecords int) (recs []Record, end uint64, err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if from < l.base {
+		return nil, from, fmt.Errorf("wal: chunk from %d already truncated (base %d)", from, l.base)
+	}
+	end = l.base + uint64(len(l.recs))
+	idx := sort.Search(len(l.sealed), func(i int) bool { return l.sealed[i].end > from })
+	if idx < len(l.sealed) {
+		end = l.sealed[idx].end
+	}
+	if end > limit {
+		end = limit
+	}
+	if maxRecords > 0 && end > from+uint64(maxRecords) {
+		end = from + uint64(maxRecords)
+	}
+	if from >= end {
+		return nil, from, nil
+	}
+	out := make([]Record, end-from)
+	copy(out, l.recs[from-l.base:end-l.base])
+	return out, end, nil
+}
+
+// Subscription is an ordered stream of sealed log pages. Appends never
+// block on slow subscribers; instead a subscriber holding more than its
+// byte budget of undelivered pages is detached with ErrSlowConsumer.
+// Consumers pull whole pages with NextPage or single records with Next.
 type Subscription struct {
-	mu      sync.Mutex
-	cond    *sync.Cond
-	pending []Record
-	closed  bool
+	mu           sync.Mutex
+	cond         *sync.Cond
+	pages        []Page
+	pendingBytes int
+	pendingRecs  int
+	closed       bool
+	err          error
+	budget       int
+	next         uint64 // lowest LSN this subscription still needs
 
 	log *Log
 	id  int
 }
 
-func (s *Subscription) push(rec Record) {
+// offer delivers a sealed page, trimming any prefix the subscriber already
+// has. Returns false when the subscription is closed or newly detached for
+// exceeding its budget; the caller then drops it from the log.
+func (s *Subscription) offer(pg Page) bool {
 	s.mu.Lock()
-	s.pending = append(s.pending, rec)
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	if s.next > pg.FirstLSN {
+		if s.next >= pg.EndLSN {
+			return true
+		}
+		pg.Records = pg.Records[s.next-pg.FirstLSN:]
+		pg.FirstLSN = s.next
+		pg.Bytes = recsBytes(pg.Records)
+	}
+	// Detach over-budget subscribers, but always accept a page into an
+	// empty queue so a lone oversized page cannot wedge delivery.
+	if s.budget > 0 && s.pendingRecs > 0 && s.pendingBytes+pg.Bytes > s.budget {
+		s.err = ErrSlowConsumer
+		s.closed = true
+		s.cond.Broadcast()
+		return false
+	}
+	s.pages = append(s.pages, pg)
+	s.pendingBytes += pg.Bytes
+	s.pendingRecs += len(pg.Records)
+	s.next = pg.EndLSN
 	s.cond.Signal()
-	s.mu.Unlock()
+	return true
 }
 
-// Next blocks until a record is available or the subscription is canceled;
-// ok is false after cancellation once the backlog drains.
+// NextPage blocks until a sealed page is available or the subscription
+// ends; ok is false after cancellation or detachment once the backlog
+// drains (check Err to distinguish).
+func (s *Subscription) NextPage() (pg Page, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.pages) == 0 && !s.closed {
+		s.cond.Wait()
+	}
+	if len(s.pages) == 0 {
+		return Page{}, false
+	}
+	pg = s.pages[0]
+	s.pages = s.pages[1:]
+	s.pendingBytes -= pg.Bytes
+	s.pendingRecs -= len(pg.Records)
+	return pg, true
+}
+
+// Next blocks until a record is available or the subscription ends; ok is
+// false after cancellation once the backlog drains.
 func (s *Subscription) Next() (rec Record, ok bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for len(s.pending) == 0 && !s.closed {
+	for s.pendingRecs == 0 && !s.closed {
 		s.cond.Wait()
 	}
-	if len(s.pending) == 0 {
+	if s.pendingRecs == 0 {
 		return Record{}, false
 	}
-	rec = s.pending[0]
-	s.pending = s.pending[1:]
-	return rec, true
+	return s.popRecordLocked(), true
 }
 
 // TryNext returns a pending record without blocking.
 func (s *Subscription) TryNext() (rec Record, ok bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if len(s.pending) == 0 {
+	if s.pendingRecs == 0 {
 		return Record{}, false
 	}
-	rec = s.pending[0]
-	s.pending = s.pending[1:]
-	return rec, true
+	return s.popRecordLocked(), true
+}
+
+func (s *Subscription) popRecordLocked() Record {
+	pg := &s.pages[0]
+	rec := pg.Records[0]
+	sz := RecordSize(rec)
+	pg.Records = pg.Records[1:]
+	pg.FirstLSN++
+	pg.Bytes -= sz
+	s.pendingBytes -= sz
+	s.pendingRecs--
+	if len(pg.Records) == 0 {
+		s.pages = s.pages[1:]
+	}
+	return rec
 }
 
 // Cancel detaches the subscription from the log and wakes blocked readers.
@@ -203,25 +444,64 @@ func (s *Subscription) Cancel() {
 	s.mu.Unlock()
 }
 
+// Err reports why the subscription ended: ErrSlowConsumer after a budget
+// detachment, nil after Cancel or while still attached.
+func (s *Subscription) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
 // Lag returns the number of records queued but not yet consumed, which the
 // cluster reports as replication lag (Table 3 discussion).
 func (s *Subscription) Lag() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return len(s.pending)
+	return s.pendingRecs
 }
 
-// Subscribe streams every record with LSN >= from: the backlog first, then
-// future appends, in LSN order.
+// LagBytes returns the accounting bytes queued but not yet consumed.
+func (s *Subscription) LagBytes() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pendingBytes
+}
+
+// LagPages returns the number of pages queued but not yet consumed.
+func (s *Subscription) LagPages() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.pages)
+}
+
+// Subscribe streams every record with LSN >= from: sealed backlog pages
+// first, then future pages, in LSN order. Records still in the open page
+// arrive when it seals (immediately under per-record paging).
 func (l *Log) Subscribe(from uint64) (*Subscription, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if from < l.base {
 		return nil, fmt.Errorf("wal: subscription from %d already truncated (base %d)", from, l.base)
 	}
-	s := &Subscription{log: l, id: l.nextSub}
+	s := &Subscription{log: l, id: l.nextSub, budget: l.cfg.SubscriptionBudget, next: from}
 	s.cond = sync.NewCond(&s.mu)
-	s.pending = append(s.pending, l.recs[from-l.base:]...)
+	for _, sp := range l.sealed {
+		if sp.end <= from {
+			continue
+		}
+		first := sp.first
+		if first < from {
+			first = from
+		}
+		recs := l.recs[first-l.base : sp.end-l.base]
+		s.pages = append(s.pages, Page{FirstLSN: first, EndLSN: sp.end, Bytes: recsBytes(recs), Records: recs})
+		s.pendingBytes += s.pages[len(s.pages)-1].Bytes
+		s.pendingRecs += len(recs)
+		s.next = sp.end
+	}
+	if s.next < l.openStart {
+		s.next = l.openStart
+	}
 	l.subs[l.nextSub] = s
 	l.nextSub++
 	return s, nil
@@ -241,6 +521,22 @@ func (l *Log) TruncateBefore(lsn uint64) {
 			l.recs = append([]Record(nil), l.recs[n:]...)
 		}
 		l.base = lsn
+		k := 0
+		for _, sp := range l.sealed {
+			if sp.end <= lsn {
+				continue
+			}
+			if sp.first < lsn {
+				sp.first = lsn
+			}
+			l.sealed[k] = sp
+			k++
+		}
+		l.sealed = l.sealed[:k]
+		if l.openStart < lsn {
+			l.openStart = lsn
+			l.openBytes = recsBytes(l.recs)
+		}
 	}
 	l.mu.Unlock()
 }

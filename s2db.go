@@ -111,6 +111,17 @@ type Config struct {
 	// parallel on the leaves). 0 means GOMAXPROCS; 1 runs sequentially.
 	// Query.Parallelism overrides it per query.
 	QueryParallelism int
+	// LogPageBytes caps a replication log page (§3: log pages are the unit
+	// of replication, durability and blob staging). A page seals early once
+	// its records reach this size. 0 uses the WAL default (64KiB).
+	LogPageBytes int
+	// GroupCommitInterval batches concurrent writers' log records into one
+	// page for up to this long before the page seals, ships to the sync
+	// replicas in a single latency hop and releases every waiting commit at
+	// once. 0 seals a page per record (no added commit latency, no
+	// batching). Commit latency with group commit enabled is bounded by
+	// GroupCommitInterval + ReplicationLatency.
+	GroupCommitInterval time.Duration
 }
 
 // BlobStore is the object-store contract (see internal/blob).
@@ -158,13 +169,15 @@ func Open(cfg Config) (*DB, error) {
 	}
 	vec := newVecCache(cfg.VectorCacheBytes)
 	ccfg := cluster.Config{
-		Name:               cfg.Name,
-		Partitions:         cfg.Partitions,
-		SyncReplicas:       cfg.SyncReplicas,
-		Blob:               store,
-		CacheBytes:         cfg.CacheBytes,
-		CommitMode:         mode,
-		ReplicationLatency: cfg.ReplicationLatency,
+		Name:                cfg.Name,
+		Partitions:          cfg.Partitions,
+		SyncReplicas:        cfg.SyncReplicas,
+		Blob:                store,
+		CacheBytes:          cfg.CacheBytes,
+		CommitMode:          mode,
+		ReplicationLatency:  cfg.ReplicationLatency,
+		LogPageBytes:        cfg.LogPageBytes,
+		GroupCommitInterval: cfg.GroupCommitInterval,
 		Table: core.Config{
 			MaxSegmentRows: cfg.MaxSegmentRows,
 			Background:     cfg.BackgroundMaintenance,
