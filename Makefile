@@ -1,7 +1,7 @@
 # Tier-1 gate: every change must pass `make check` — build, vet, and the
 # full test suite under the race detector (the parallel fan-out scheduler
 # runs on every query, so -race is part of the gate, not an extra).
-.PHONY: check build vet test race racewal bench benchgc benchall
+.PHONY: check build vet test race racewal bench benchgc benchmerge benchall
 
 check: build vet race
 
@@ -32,6 +32,13 @@ bench:
 # plus the durable-watermark recompute before/after numbers.
 benchgc:
 	go run ./cmd/s2bench -exp groupcommit -out BENCH_PR3.json
+
+# benchmerge regenerates BENCH_PR4.json: columnar k-way merge throughput
+# vs the row-resort baseline, foreground write p99 while a merge is in
+# flight (install-only lock vs lock-held), and decoded-vector cache
+# invalidations under cache-aware vs size-only run selection.
+benchmerge:
+	go run ./cmd/s2bench -exp merge -out BENCH_PR4.json
 
 # benchall runs the full Go benchmark suite (paper tables + ablations).
 benchall:

@@ -8,6 +8,7 @@
 //	s2bench -exp table3    # CH-BenCHmark mixed workload (Table 3)
 //	s2bench -exp veccache  # decoded-vector cache cold/warm (BENCH_PR2.json)
 //	s2bench -exp groupcommit # page-based group commit (BENCH_PR3.json)
+//	s2bench -exp merge     # columnar k-way merge pipeline (BENCH_PR4.json)
 //	s2bench -exp all       # every table/figure (JSON experiments stay opt-in)
 //
 // Absolute numbers are laptop-scale; compare shapes against the paper (see
@@ -32,8 +33,8 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, table2, figure4, figure5, table3, veccache, groupcommit, all")
-	out := flag.String("out", "", "output path for -exp veccache (BENCH_PR2.json) or -exp groupcommit (BENCH_PR3.json)")
+	exp := flag.String("exp", "all", "experiment: table1, table2, figure4, figure5, table3, veccache, groupcommit, merge, all")
+	out := flag.String("out", "", "output path for -exp veccache (BENCH_PR2.json), -exp groupcommit (BENCH_PR3.json) or -exp merge (BENCH_PR4.json)")
 	sf := flag.Float64("sf", 0.01, "TPC-H scale factor")
 	warehouses := flag.Int("warehouses", 2, "TPC-C warehouses")
 	duration := flag.Duration("duration", 3*time.Second, "per-measurement duration")
@@ -60,6 +61,17 @@ func main() {
 		}
 		if err := groupCommitBench(path, *duration); err != nil {
 			fmt.Fprintf(os.Stderr, "groupcommit: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *exp == "merge" {
+		path := *out
+		if path == "" {
+			path = "BENCH_PR4.json"
+		}
+		if err := mergeBench(path); err != nil {
+			fmt.Fprintf(os.Stderr, "merge: %v\n", err)
 			os.Exit(1)
 		}
 		return

@@ -49,7 +49,15 @@ type MergePlan struct {
 
 // PickMerge examines run sizes (live rows per run generation) and returns a
 // plan, or nil when the tree is already logarithmic. fanout must be >= 2.
-func PickMerge(runSizes map[int]int, fanout int) *MergePlan {
+//
+// heat, when non-nil, carries a per-run hotness score derived from the
+// decoded-vector cache (resident bytes plus recent hits). Merging a run
+// invalidates its cached vectors, so when a tier holds more than fanout
+// candidates the planner merges the fanout *coldest* runs and leaves hot
+// runs for a later pass — plus any extra zero-heat runs, so a fully cold
+// tier still collapses in one merge exactly as the size-only policy would.
+// A nil or all-zero heat map reproduces the size-only behavior.
+func PickMerge(runSizes map[int]int, fanout int, heat map[int]int64) *MergePlan {
 	if fanout < 2 {
 		fanout = 2
 	}
@@ -75,6 +83,23 @@ func PickMerge(runSizes map[int]int, fanout int) *MergePlan {
 	for _, t := range tierKeys {
 		if len(tiers[t]) >= fanout {
 			runs := tiers[t]
+			if len(runs) > fanout {
+				// Coldest first; equal heat falls back to run order so the
+				// selection is deterministic.
+				sort.Slice(runs, func(i, j int) bool {
+					if heat[runs[i]] != heat[runs[j]] {
+						return heat[runs[i]] < heat[runs[j]]
+					}
+					return runs[i] < runs[j]
+				})
+				keep := runs[:fanout:fanout]
+				for _, r := range runs[fanout:] {
+					if heat[r] == 0 {
+						keep = append(keep, r)
+					}
+				}
+				runs = keep
+			}
 			sort.Ints(runs)
 			return &MergePlan{Runs: runs}
 		}
@@ -88,31 +113,33 @@ func PickMerge(runSizes map[int]int, fanout int) *MergePlan {
 // result atomically (the merge is reorderable with move transactions,
 // §4.2).
 func MergeSegments(metas []*Meta, schema *types.Schema, maxRows int, nextID func() uint64) []*Segment {
-	if maxRows <= 0 {
-		maxRows = MaxSegmentRows
+	// Each input meta is its own single-segment "run": segments are
+	// internally sorted by construction, and equal keys keep input order,
+	// matching the stable resort this function used to perform.
+	runs := make([][]*Meta, len(metas))
+	for i, m := range metas {
+		runs[i] = []*Meta{m}
 	}
-	// Collect live rows from all inputs.
-	var rows []types.Row
-	for _, m := range metas {
-		for i := 0; i < m.Seg.NumRows; i++ {
-			if !m.Deleted.Get(i) {
-				rows = append(rows, m.Seg.RowAt(i))
-			}
-		}
+	km := NewKMerge(runs, schema, maxRows, nil)
+	out := make([]*Segment, km.NumOutputs())
+	for i := range out {
+		out[i] = km.BuildOutput(i, nextID())
 	}
-	if schema.SortKey >= 0 {
-		k := []int{schema.SortKey}
-		sort.SliceStable(rows, func(i, j int) bool {
-			return types.CompareRows(rows[i], rows[j], k) < 0
-		})
+	return out
+}
+
+// MergeSegmentsRowSort is the legacy row-materializing merge, kept as the
+// benchmark/ablation baseline and as an independent oracle for equivalence
+// tests against the columnar path.
+func MergeSegmentsRowSort(metas []*Meta, schema *types.Schema, maxRows int, nextID func() uint64) []*Segment {
+	runs := make([][]*Meta, len(metas))
+	for i, m := range metas {
+		runs[i] = []*Meta{m}
 	}
-	var out []*Segment
-	for start := 0; start < len(rows); start += maxRows {
-		end := start + maxRows
-		if end > len(rows) {
-			end = len(rows)
-		}
-		out = append(out, buildFromRows(nextID(), schema, rows[start:end]))
+	rm := NewRowSortMerge(runs, schema, maxRows)
+	out := make([]*Segment, rm.NumOutputs())
+	for i := range out {
+		out[i] = rm.BuildOutput(i, nextID())
 	}
 	return out
 }

@@ -217,18 +217,18 @@ func TestMergeSegmentsPreservesLiveRows(t *testing.T) {
 
 func TestPickMerge(t *testing.T) {
 	// Fewer runs than fanout: no merge.
-	if p := PickMerge(map[int]int{1: 10}, 4); p != nil {
+	if p := PickMerge(map[int]int{1: 10}, 4, nil); p != nil {
 		t.Fatal("single run should not merge")
 	}
 	// Four similarly-sized runs merge.
 	sizes := map[int]int{1: 10, 2: 12, 3: 9, 4: 11}
-	p := PickMerge(sizes, 4)
+	p := PickMerge(sizes, 4, nil)
 	if p == nil || len(p.Runs) != 4 {
 		t.Fatalf("PickMerge = %+v", p)
 	}
 	// One big run plus three small ones: not enough in any tier.
 	sizes = map[int]int{1: 100000, 2: 12, 3: 9, 4: 11}
-	if p := PickMerge(sizes, 4); p != nil {
+	if p := PickMerge(sizes, 4, nil); p != nil {
 		t.Fatalf("unbalanced tiers should not merge, got %+v", p)
 	}
 }
@@ -244,7 +244,7 @@ func TestPickMergeKeepsRunCountLogarithmic(t *testing.T) {
 		sizes[nextRun] = 100
 		nextRun++
 		for {
-			p := PickMerge(sizes, fanout)
+			p := PickMerge(sizes, fanout, nil)
 			if p == nil {
 				break
 			}

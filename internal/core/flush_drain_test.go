@@ -1,0 +1,52 @@
+package core
+
+import (
+	"testing"
+
+	"s2db/internal/types"
+)
+
+// A row updated while living in a segment is moved to the buffer and then
+// overwritten by an update transaction whose snapshot predates the move.
+// The buffer's live counter must see exactly one live row through that
+// sequence — over-counting leaves BufferLen() > 0 forever after every row
+// has been flushed, which livelocks flush-until-empty loops (cluster.Flush).
+func TestBufferDrainsAfterSegmentRowUpdate(t *testing.T) {
+	tbl, _ := newTestTable(t, uniqSchema(), Config{MaxSegmentRows: 8, MergeFanout: 4})
+	for i := 0; i < 8; i++ {
+		if err := tbl.Insert(urow(i, i, "a")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := tbl.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.BufferLen() != 0 {
+		t.Fatalf("BufferLen after flush = %d, want 0", tbl.BufferLen())
+	}
+	n, err := tbl.UpdateWhere(Eq(0, types.NewInt(3)), func(r types.Row) types.Row {
+		r[1] = types.NewInt(999)
+		return r
+	})
+	if err != nil || n != 1 {
+		t.Fatalf("update: n=%d err=%v", n, err)
+	}
+	if got := tbl.BufferLen(); got != 1 {
+		t.Fatalf("BufferLen after segment-row update = %d, want 1 (moved row)", got)
+	}
+	for i := 0; tbl.BufferLen() > 0; i++ {
+		if i >= 4 {
+			t.Fatalf("buffer will not drain: BufferLen=%d after %d flushes", tbl.BufferLen(), i)
+		}
+		if _, err := tbl.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := mustCount(t, tbl); got != 8 {
+		t.Fatalf("count = %d, want 8", got)
+	}
+	row, ok, err := tbl.GetByUnique([]types.Value{types.NewInt(3)})
+	if err != nil || !ok || row[1].I != 999 {
+		t.Fatalf("updated row: ok=%v err=%v row=%v", ok, err, row)
+	}
+}

@@ -2,7 +2,8 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"s2db/internal/bitmap"
@@ -60,36 +61,46 @@ func (t *Table) applySegDeletes(ts uint64, segDel map[uint64][]int32) {
 	if len(segDel) == 0 {
 		return
 	}
-	// Resolve remapped targets until every offset lands in a live segment.
+	// Resolve remapped targets level by level until every offset lands in a
+	// live segment. A worklist (rather than per-segment recursion) is
+	// required for correctness, not just style: two chase branches can
+	// legitimately funnel offsets into the same retired segment (fan-in
+	// across chained merges), so batches must merge instead of being
+	// deduplicated away. Each level only reaches segments created by a
+	// strictly later merge, so a well-formed remap graph terminates within
+	// len(t.segs) levels; the depth guard turns a corrupt cyclic graph into
+	// dropped offsets instead of an unbounded loop.
+	t.segMu.RLock()
+	maxDepth := len(t.segs) + 1
+	t.segMu.RUnlock()
 	resolved := make(map[uint64][]int32, len(segDel))
-	var resolve func(id uint64, offs []int32)
-	resolve = func(id uint64, offs []int32) {
-		t.segMu.RLock()
-		e := t.segs[id]
-		t.segMu.RUnlock()
-		if e == nil {
-			return
-		}
-		if e.dropTS.Load() == 0 {
-			resolved[id] = append(resolved[id], offs...)
-			return
-		}
-		rm := e.remap.Load()
-		if rm == nil {
-			return // dropped with no survivors: rows already gone
-		}
+	pending := segDel
+	for depth := 0; len(pending) > 0 && depth < maxDepth; depth++ {
 		next := map[uint64][]int32{}
-		for _, o := range offs {
-			if tgt, ok := (*rm)[o]; ok {
-				next[tgt.seg] = append(next[tgt.seg], tgt.off)
+		for id, offs := range pending {
+			t.segMu.RLock()
+			e := t.segs[id]
+			t.segMu.RUnlock()
+			if e == nil {
+				continue
+			}
+			if e.dropTS.Load() == 0 {
+				resolved[id] = append(resolved[id], offs...)
+				continue
+			}
+			rm := e.remap.Load()
+			if rm == nil {
+				continue // dropped with no survivors: rows already gone
+			}
+			for _, o := range offs {
+				if int(o) < len(*rm) {
+					if tgt := (*rm)[o]; tgt.off >= 0 {
+						next[tgt.seg] = append(next[tgt.seg], tgt.off)
+					}
+				}
 			}
 		}
-		for nid, noffs := range next {
-			resolve(nid, noffs)
-		}
-	}
-	for id, offs := range segDel {
-		resolve(id, offs)
+		pending = next
 	}
 	for id, offs := range resolved {
 		t.segMu.RLock()
@@ -172,15 +183,29 @@ func (t *Table) Flush() (int, error) {
 // contents. Deletes that commit between the merge's scan and its install
 // are re-applied via the deleted-bits diff, so merges never block update or
 // delete transactions (§4.2). It reports whether a merge happened.
+//
+// Only the install commit runs under structMu. The expensive part — the
+// columnar k-way merge, output encoding, and data-file writes — runs
+// outside it, which is safe because segment payloads and captured deleted
+// bitmaps are immutable (deletes install *new* meta versions, and the
+// install diff re-applies them), flushes only create new runs, and mergeMu
+// keeps a second merge from retiring our inputs. Output segments build and
+// persist on cfg.MergeWorkers goroutines.
 func (t *Table) Merge() bool {
-	t.structMu.Lock()
-	defer t.structMu.Unlock()
+	t.mergeMu.Lock()
+	defer t.mergeMu.Unlock()
+	if t.cfg.MergeHoldLock {
+		// Ablation baseline: the pre-restructure lock scope.
+		t.structMu.Lock()
+		defer t.structMu.Unlock()
+	}
 
 	readTS := t.committer.Oracle().ReadTS()
 	// Gather live segments per run at the scan snapshot.
 	t.segMu.RLock()
 	runSizes := map[int]int{}
 	byRun := map[int][]uint64{}
+	runSegs := map[int][]*colstore.Segment{}
 	for id, e := range t.segs {
 		m := e.metaAt(readTS)
 		if m == nil || e.dropTS.Load() != 0 {
@@ -188,143 +213,189 @@ func (t *Table) Merge() bool {
 		}
 		runSizes[m.Run] += m.LiveRows()
 		byRun[m.Run] = append(byRun[m.Run], id)
+		runSegs[m.Run] = append(runSegs[m.Run], m.Seg)
 	}
 	t.segMu.RUnlock()
-	plan := colstore.PickMerge(runSizes, t.cfg.MergeFanout)
+	// Cache-aware planning: score each run by its decoded-vector cache
+	// footprint so ties prefer cold runs and merges keep their hands off
+	// the hottest cached vectors.
+	var heat map[int]int64
+	if vr, ok := t.cfg.DecodedCache.(VectorResidency); ok {
+		heat = make(map[int]int64, len(runSegs))
+		for run, segs := range runSegs {
+			for _, seg := range segs {
+				bytes, hits := vr.SegmentHeat(seg)
+				heat[run] += bytes + 1024*hits
+			}
+		}
+	}
+	plan := colstore.PickMerge(runSizes, t.cfg.MergeFanout, heat)
 	if plan == nil {
 		return false
 	}
 
-	// Scan phase: collect live rows with their origins, remembering the
-	// deleted bitmaps we read so the install phase can diff against them.
-	type origin struct {
-		seg uint64
-		off int32
-	}
-	var rows []types.Row
-	var origins []origin
-	scanned := map[uint64]*bitmap.Bitmap{}
-	var inputIDs []uint64
+	// Scan phase: capture each input's meta (payload + deleted bitmap) so
+	// the install phase can diff deletes that land while we merge. The
+	// captured bitmaps are immutable — later deletes clone into new meta
+	// versions — so reading them off-lock is safe.
+	runs := make([][]*colstore.Meta, 0, len(plan.Runs))
 	for _, run := range plan.Runs {
+		metas := make([]*colstore.Meta, 0, len(byRun[run]))
 		for _, id := range byRun[run] {
 			t.segMu.RLock()
 			e := t.segs[id]
 			t.segMu.RUnlock()
-			m := e.latestMeta()
-			scanned[id] = m.Deleted
-			inputIDs = append(inputIDs, id)
-			for i := 0; i < m.Seg.NumRows; i++ {
-				if !m.Deleted.Get(i) {
-					rows = append(rows, m.Seg.RowAt(i))
-					origins = append(origins, origin{seg: id, off: int32(i)})
+			metas = append(metas, e.latestMeta())
+		}
+		runs = append(runs, metas)
+	}
+	var merger colstore.Merger
+	if t.cfg.MergeRowSort {
+		// Ablation baseline: materialize rows and resort.
+		merger = colstore.NewRowSortMerge(runs, t.schema, t.cfg.MaxSegmentRows)
+	} else {
+		var src colstore.VectorSource
+		if s, ok := t.cfg.DecodedCache.(colstore.VectorSource); ok {
+			src = s
+		}
+		merger = colstore.NewKMerge(runs, t.schema, t.cfg.MaxSegmentRows, src)
+	}
+	inputs := merger.Inputs()
+
+	// Allocate output identities up front: ids ascend in key order so
+	// SnapshotAt's sort-by-ID keeps scan order deterministic.
+	newRun := int(t.nextRun.Add(1) - 1)
+	nOut := merger.NumOutputs()
+	outs := make([]*colstore.Segment, nOut)
+	outBytes := make([][]byte, nOut)
+	files := make([]string, nOut)
+	ids := make([]uint64, nOut)
+	logHead := t.log.Head()
+	for i := range files {
+		ids[i] = t.nextSeg.Add(1) - 1
+		files[i] = fmt.Sprintf("%s/seg-%08d-lp%08d", t.name, ids[i], logHead)
+	}
+
+	// Build, encode, and persist outputs in parallel.
+	workers := t.cfg.MergeWorkers
+	if workers > nOut {
+		workers = nOut
+	}
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+		saved    = make([]atomic.Bool, nOut)
+		work     = make(chan int)
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				seg := merger.BuildOutput(i, ids[i])
+				b := seg.Encode()
+				if err := t.files.SaveFile(files[i], b); err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("merge %s: save %s: %w", t.name, files[i], err)
+					}
+					errMu.Unlock()
+					continue
 				}
+				outs[i] = seg
+				outBytes[i] = b
+				saved[i].Store(true)
+			}
+		}()
+	}
+	for i := 0; i < nOut; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	if firstErr != nil {
+		// Abort: delete every output that made it to the store so a failed
+		// merge leaks no orphan blobs, record the cause, and leave the
+		// inputs untouched for a later retry.
+		for i := range files {
+			if saved[i].Load() {
+				t.files.RemoveFile(files[i]) //nolint:errcheck // best-effort cleanup on abort
 			}
 		}
-	}
-	// Sort rows (with origins) by the sort key.
-	if t.schema.SortKey >= 0 {
-		k := []int{t.schema.SortKey}
-		idxs := make([]int, len(rows))
-		for i := range idxs {
-			idxs[i] = i
-		}
-		sortByKey(idxs, rows, k)
-		nr := make([]types.Row, len(rows))
-		no := make([]origin, len(origins))
-		for i, j := range idxs {
-			nr[i], no[i] = rows[j], origins[j]
-		}
-		rows, origins = nr, no
+		t.Stats.MergeAborts.Add(1)
+		t.Stats.setMergeError(firstErr)
+		return false
 	}
 
-	// Build output segments and the remap from old locations to new.
-	maxRows := t.cfg.MaxSegmentRows
-	type outSeg struct {
-		seg   *colstore.Segment
-		run   int
-		file  string
-		bytes []byte
+	// Translate the merger's chunk-relative remaps into segment-id remaps.
+	outLocs := merger.Remaps()
+	remaps := make([][]remapTarget, len(inputs))
+	for i, locs := range outLocs {
+		rt := make([]remapTarget, len(locs))
+		for j, l := range locs {
+			if l.Seg < 0 {
+				rt[j] = remapTarget{off: -1}
+			} else {
+				rt[j] = remapTarget{seg: ids[l.Seg], off: l.Off}
+			}
+		}
+		remaps[i] = rt
 	}
-	var outs []outSeg
-	remaps := map[uint64]map[int32]remapTarget{}
-	for _, id := range inputIDs {
-		remaps[id] = map[int32]remapTarget{}
-	}
-	newRun := int(t.nextRun.Add(1) - 1)
-	for start := 0; start < len(rows); start += maxRows {
-		end := start + maxRows
-		if end > len(rows) {
-			end = len(rows)
-		}
-		segID := t.nextSeg.Add(1) - 1
-		seg := colstore.BuildSegment(segID, t.schema, rows[start:end])
-		file := fmt.Sprintf("%s/seg-%08d-lp%08d", t.name, segID, t.log.Head())
-		bytes := seg.Encode()
-		if err := t.files.SaveFile(file, bytes); err != nil {
-			return false // leave inputs untouched; retry later
-		}
-		for i := start; i < end; i++ {
-			o := origins[i]
-			remaps[o.seg][o.off] = remapTarget{seg: segID, off: int32(i - start)}
-		}
-		outs = append(outs, outSeg{seg: seg, run: newRun, file: file, bytes: bytes})
+	outIdxByID := make(map[uint64]int, nOut)
+	for i, id := range ids {
+		outIdxByID[id] = i
 	}
 
+	if !t.cfg.MergeHoldLock {
+		t.structMu.Lock()
+		defer t.structMu.Unlock()
+	}
+	inputIDs := make([]uint64, len(inputs))
 	t.committer.Commit(func(ts uint64) {
 		// Diff: deletes that landed after our scan must carry over to the
 		// new segments (§4.2's reordering rule, applied from the merge's
 		// side).
-		carried := map[uint64]*bitmap.Bitmap{} // new seg id -> deleted bits
-		for _, id := range inputIDs {
+		carried := make([]*bitmap.Bitmap, nOut) // per output index
+		for i, m := range inputs {
+			id := m.Seg.ID
+			inputIDs[i] = id
 			t.segMu.RLock()
 			e := t.segs[id]
 			t.segMu.RUnlock()
 			nowDel := e.latestMeta().Deleted
-			was := scanned[id]
-			nowDel.Range(func(i int) bool {
-				if !was.Get(i) {
-					if tgt, ok := remaps[id][int32(i)]; ok {
-						bm := carried[tgt.seg]
-						if bm == nil {
-							// Sized lazily per target segment below.
-							for _, o := range outs {
-								if o.seg.ID == tgt.seg {
-									bm = bitmap.New(o.seg.NumRows)
-								}
-							}
-							carried[tgt.seg] = bm
+			was := m.Deleted
+			rt := remaps[i]
+			nowDel.Range(func(r int) bool {
+				if !was.Get(r) {
+					if tgt := rt[r]; tgt.off >= 0 {
+						bi := outIdxByID[tgt.seg]
+						if carried[bi] == nil {
+							carried[bi] = bitmap.New(outs[bi].NumRows)
 						}
-						bm.Set(int(tgt.off))
+						carried[bi].Set(int(tgt.off))
 					}
 				}
 				return true
 			})
 		}
 		var installs []segInstall
-		for _, o := range outs {
-			t.installSegment(ts, o.seg, o.run, o.file, carried[o.seg.ID])
-			del := carried[o.seg.ID]
-			installs = append(installs, segInstall{File: o.file, Run: o.run, Deleted: del, SegBytes: o.bytes})
+		for i, seg := range outs {
+			t.installSegment(ts, seg, newRun, files[i], carried[i])
+			installs = append(installs, segInstall{File: files[i], Run: newRun, Deleted: carried[i], SegBytes: outBytes[i]})
 		}
-		for _, id := range inputIDs {
+		for i, m := range inputs {
 			t.segMu.RLock()
-			e := t.segs[id]
+			e := t.segs[m.Seg.ID]
 			t.segMu.RUnlock()
-			rm := remaps[id]
+			rm := remaps[i]
 			e.remap.Store(&rm)
-			t.dropSegment(ts, id)
+			t.dropSegment(ts, m.Seg.ID)
 		}
 		t.appendLog(wal.KindMerge, ts, &mutation{NewSegs: installs, DropSegs: inputIDs})
 	})
 	t.Stats.Merges.Add(1)
 	return true
-}
-
-// sortByKey stable-sorts idxs by rows[idx] under the key ordinals.
-func sortByKey(idxs []int, rows []types.Row, key []int) {
-	sort.SliceStable(idxs, func(a, b int) bool {
-		return types.CompareRows(rows[idxs[a]], rows[idxs[b]], key) < 0
-	})
 }
 
 // maybeCompact physically removes tombstoned buffer nodes left behind by

@@ -9,6 +9,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -47,8 +48,23 @@ type Config struct {
 	// execution layer serves scans from (exec.VecCache). The table's only
 	// obligation is invalidation: it drops a segment's vectors when an LSM
 	// merge retires the segment. Defined as an interface so core does not
-	// depend on the execution layer.
+	// depend on the execution layer. When the value also implements
+	// VectorResidency the merge planner prefers cold runs, and when it
+	// implements colstore.VectorSource the merger reuses resident decoded
+	// vectors instead of re-decoding inputs.
 	DecodedCache DecodedVectorCache
+	// MergeWorkers bounds the goroutines that encode and persist merge
+	// output segments in parallel (capped by the output count). Defaults
+	// to 4.
+	MergeWorkers int
+	// MergeRowSort selects the legacy row-materializing merge algorithm
+	// instead of the columnar k-way merge. Benchmark/ablation baseline
+	// only.
+	MergeRowSort bool
+	// MergeHoldLock holds structMu across the whole merge (scan, sort,
+	// encode, SaveFile) instead of only the install commit. Benchmark/
+	// ablation baseline only.
+	MergeHoldLock bool
 }
 
 // DecodedVectorCache is the invalidation contract between table maintenance
@@ -57,6 +73,14 @@ type Config struct {
 // cached vector.
 type DecodedVectorCache interface {
 	InvalidateSegment(seg *colstore.Segment)
+}
+
+// VectorResidency is the optional cache-awareness contract: a decoded-vector
+// cache that can report how "hot" a segment is (resident decoded bytes plus
+// accumulated hits) lets the merge planner prefer cold runs, so merges
+// invalidate as little cached work as possible.
+type VectorResidency interface {
+	SegmentHeat(seg *colstore.Segment) (residentBytes, hits int64)
 }
 
 func (c Config) withDefaults() Config {
@@ -77,6 +101,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CompactionGrace <= 0 {
 		c.CompactionGrace = time.Second
+	}
+	if c.MergeWorkers <= 0 {
+		c.MergeWorkers = 4
 	}
 	return c
 }
@@ -168,17 +195,18 @@ type segEntry struct {
 	createTS uint64
 	dropTS   atomic.Uint64 // 0 while live
 	versions atomic.Pointer[metaVersion]
-	// remap is set when the segment is retired by a merge: it maps each
-	// surviving row offset to its new location, so a move transaction that
-	// committed after the merge can re-apply its deleted bits ("the commit
-	// process applies all segment merges between the scan timestamp and the
-	// commit timestamp of the move transaction", §4.2).
-	remap atomic.Pointer[map[int32]remapTarget]
+	// remap is set when the segment is retired by a merge: it gives each
+	// row offset its new location (off < 0 for rows deleted at merge time),
+	// so a move transaction that committed after the merge can re-apply its
+	// deleted bits ("the commit process applies all segment merges between
+	// the scan timestamp and the commit timestamp of the move transaction",
+	// §4.2). Indexed by old row offset.
+	remap atomic.Pointer[[]remapTarget]
 }
 
 type remapTarget struct {
 	seg uint64
-	off int32
+	off int32 // < 0: the row had no surviving output location
 }
 
 type metaVersion struct {
@@ -213,6 +241,26 @@ type Stats struct {
 	Flushes, Merges, Moves          atomic.Int64
 	IndexProbes, SegmentsEliminated atomic.Int64
 	DupConflicts                    atomic.Int64
+	// MergeAborts counts merges abandoned because an output data file
+	// failed to persist; saved outputs are deleted and the inputs stay
+	// untouched, so the merge simply retries later.
+	MergeAborts atomic.Int64
+
+	mergeErr atomic.Pointer[string]
+}
+
+// LastMergeError returns the most recent merge-abort cause, or nil when no
+// merge has failed.
+func (s *Stats) LastMergeError() error {
+	if p := s.mergeErr.Load(); p != nil {
+		return errors.New(*p)
+	}
+	return nil
+}
+
+func (s *Stats) setMergeError(err error) {
+	msg := err.Error()
+	s.mergeErr.Store(&msg)
 }
 
 // Table is one partition of a unified-storage table.
@@ -229,10 +277,16 @@ type Table struct {
 	uniq   *txn.LockManager
 	idx    *index.Set
 
-	// structMu serializes structural changes (flush, merge, move installs)
+	// structMu serializes structural changes (flush, merge/move installs)
 	// so move transactions and merges can be reordered safely (§4.2). It is
-	// never held while waiting for user locks.
+	// never held while waiting for user locks. A merge holds it only for
+	// the install commit; the scan/merge/encode/save pipeline runs outside
+	// it so flushes and foreground moves proceed during merges.
 	structMu sync.Mutex
+
+	// mergeMu serializes merge steps with each other: the off-structMu
+	// pipeline assumes no concurrent merge retires its input segments.
+	mergeMu sync.Mutex
 
 	segMu   sync.RWMutex
 	segs    map[uint64]*segEntry

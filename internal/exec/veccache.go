@@ -14,6 +14,7 @@ import (
 	"sync"
 
 	"s2db/internal/colstore"
+	"s2db/internal/core"
 	"s2db/internal/types"
 )
 
@@ -66,10 +67,20 @@ type vecEntry struct {
 	ints  []int64
 	strs  []string
 	size  int64
+	hits  int64         // guarded by VecCache.mu; feeds SegmentHeat
 	done  bool          // guarded by VecCache.mu
 	ready chan struct{} // closed once the decode has published
 	el    *list.Element // non-nil while resident in the LRU
 }
+
+// The cache plugs into table maintenance through three optional contracts:
+// merge-time invalidation, cache-aware merge planning, and decoded-vector
+// reuse inside the merger itself.
+var (
+	_ core.DecodedVectorCache = (*VecCache)(nil)
+	_ core.VectorResidency    = (*VecCache)(nil)
+	_ colstore.VectorSource   = (*VecCache)(nil)
+)
 
 // VecCache is a size-bounded, concurrency-safe LRU of decoded column
 // vectors with single-flight decode: when N workers hit the same cold
@@ -165,6 +176,7 @@ func (c *VecCache) acquire(k vecKey, st *ScanStats) (*vecEntry, bool) {
 				c.lru.MoveToFront(e.el)
 			}
 			c.hits++
+			e.hits++
 			if st != nil {
 				st.VecCacheHits++
 			}
@@ -174,6 +186,7 @@ func (c *VecCache) acquire(k vecKey, st *ScanStats) (*vecEntry, bool) {
 		// Another goroutine is decoding this vector right now: wait for it
 		// instead of duplicating the work.
 		c.waits++
+		e.hits++
 		if st != nil {
 			st.VecCacheWaits++
 		}
@@ -238,6 +251,58 @@ func (c *VecCache) evictLocked(st *ScanStats) {
 			st.VecCacheEvictions++
 		}
 	}
+}
+
+// PeekInts returns the resident decoded vector for (seg, col) without
+// promoting the entry or counting a hit. The merger uses it to reuse
+// cache-resident vectors for segments it is about to retire: touching the
+// LRU or the heat counters would make the merge itself inflate the
+// "hotness" of runs it reads, defeating cache-aware planning.
+func (c *VecCache) PeekInts(seg *colstore.Segment, col int) ([]int64, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[vecKey{seg: seg, col: col}]; ok && e.done && e.ints != nil {
+		return e.ints, true
+	}
+	return nil, false
+}
+
+// PeekStrs is PeekInts for string columns.
+func (c *VecCache) PeekStrs(seg *colstore.Segment, col int) ([]string, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[vecKey{seg: seg, col: col}]; ok && e.done && e.strs != nil {
+		return e.strs, true
+	}
+	return nil, false
+}
+
+// SegmentHeat reports the segment's cache footprint — resident decoded
+// bytes and accumulated hits across its vectors — so the merge planner can
+// prefer retiring cold runs (it implements core.VectorResidency). Safe on a
+// nil (disabled) cache.
+func (c *VecCache) SegmentHeat(seg *colstore.Segment) (residentBytes, hits int64) {
+	if c == nil {
+		return 0, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for k, e := range c.entries {
+		if k.seg != seg || !e.done {
+			continue
+		}
+		if e.el != nil {
+			residentBytes += e.size
+		}
+		hits += e.hits
+	}
+	return residentBytes, hits
 }
 
 // Stats snapshots the cache counters; safe on a nil (disabled) cache.

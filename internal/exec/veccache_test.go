@@ -348,3 +348,66 @@ func TestMergeInvalidatesRetiredSegments(t *testing.T) {
 		t.Fatal("merge retired segments without invalidating the vector cache")
 	}
 }
+
+func TestVecCachePeekAndSegmentHeat(t *testing.T) {
+	cache := NewVecCache(1 << 20)
+	tbl := newCachedTable(t, 256, 256, cache)
+	meta := tbl.Snapshot().Segs[0]
+
+	// Warm column 2 with one miss + two hits.
+	v := cache.Ints(meta, 2, nil)
+	cache.Ints(meta, 2, nil)
+	cache.Ints(meta, 2, nil)
+
+	// Peek returns the very same resident vector without counting a hit.
+	before := cache.Stats()
+	pv, ok := cache.PeekInts(meta.Seg, 2)
+	if !ok || &pv[0] != &v[0] {
+		t.Fatalf("PeekInts: ok=%v, vector shared=%v", ok, ok && &pv[0] == &v[0])
+	}
+	if _, ok := cache.PeekInts(meta.Seg, 0); ok {
+		t.Fatal("PeekInts hit a column that was never decoded")
+	}
+	if _, ok := cache.PeekStrs(meta.Seg, 1); ok {
+		t.Fatal("PeekStrs hit a column that was never decoded")
+	}
+	after := cache.Stats()
+	if after.Hits != before.Hits || after.Misses != before.Misses {
+		t.Fatalf("Peek perturbed stats: %+v -> %+v", before, after)
+	}
+
+	bytes, hits := cache.SegmentHeat(meta.Seg)
+	if bytes <= 0 {
+		t.Fatalf("SegmentHeat bytes = %d, want > 0", bytes)
+	}
+	if hits != 2 {
+		t.Fatalf("SegmentHeat hits = %d, want 2 (peeks must not count)", hits)
+	}
+
+	// Cold segment: zero heat. Nil cache: everything degrades safely.
+	other := tbl.Snapshot().Segs[len(tbl.Snapshot().Segs)-1]
+	if other.Seg != meta.Seg {
+		if b, h := cache.SegmentHeat(other.Seg); b != 0 || h != 0 {
+			t.Fatalf("cold segment heat = (%d, %d), want (0, 0)", b, h)
+		}
+	}
+	var nilCache *VecCache
+	if _, ok := nilCache.PeekInts(meta.Seg, 2); ok {
+		t.Fatal("nil cache PeekInts returned ok")
+	}
+	if b, h := nilCache.SegmentHeat(meta.Seg); b != 0 || h != 0 {
+		t.Fatal("nil cache SegmentHeat nonzero")
+	}
+}
+
+func TestVecCacheInvalidateDropsHeat(t *testing.T) {
+	cache := NewVecCache(1 << 20)
+	tbl := newCachedTable(t, 256, 256, cache)
+	meta := tbl.Snapshot().Segs[0]
+	cache.Ints(meta, 2, nil)
+	cache.Ints(meta, 2, nil)
+	cache.InvalidateSegment(meta.Seg)
+	if b, h := cache.SegmentHeat(meta.Seg); b != 0 || h != 0 {
+		t.Fatalf("heat survived invalidation: (%d, %d)", b, h)
+	}
+}

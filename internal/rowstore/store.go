@@ -226,7 +226,15 @@ func (t *Txn) Insert(key []byte, row types.Row) (replaced bool, err error) {
 	if err := t.lockRow(n); err != nil {
 		return false, err
 	}
-	prev := visible(n, t.readTS, t)
+	// The live counter tracks the latest committed state, so "replaced" must
+	// be judged against the latest committed (or own) version, not the
+	// transaction's snapshot: an update transaction may begin at a snapshot
+	// older than the move/flush that produced the row it overwrites, and
+	// holding the row lock guarantees the latest committed version cannot
+	// change before our commit. Judging at the snapshot double-counts such
+	// rows, leaving Len() permanently above the real live count (which turns
+	// flush-until-empty loops into livelocks).
+	prev := visible(n, ^uint64(0), t)
 	replaced = prev != nil && prev.data != nil
 	t.pushVersion(n, row.Clone())
 	if !replaced {

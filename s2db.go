@@ -106,6 +106,10 @@ type Config struct {
 	MaxSegmentRows int
 	// BackgroundMaintenance runs the flusher and merger automatically.
 	BackgroundMaintenance bool
+	// MergeWorkers bounds the goroutines each partition's merger uses to
+	// build and persist merge output segments in parallel. 0 uses the core
+	// default (4).
+	MergeWorkers int
 	// QueryParallelism bounds the number of concurrent per-partition scan
 	// tasks a query fans out (§2: aggregators run partition fragments in
 	// parallel on the leaves). 0 means GOMAXPROCS; 1 runs sequentially.
@@ -181,6 +185,7 @@ func Open(cfg Config) (*DB, error) {
 		Table: core.Config{
 			MaxSegmentRows: cfg.MaxSegmentRows,
 			Background:     cfg.BackgroundMaintenance,
+			MergeWorkers:   cfg.MergeWorkers,
 		},
 	}
 	if vec != nil {
