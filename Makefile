@@ -1,9 +1,21 @@
 # Tier-1 gate: every change must pass `make check` — build, vet, and the
 # full test suite under the race detector (the parallel fan-out scheduler
 # runs on every query, so -race is part of the gate, not an extra).
-.PHONY: check build vet test race racewal bench benchgc benchmerge benchall
+.PHONY: check ci fmtcheck build vet test race racewal bench benchgc benchmerge benchws benchsmoke benchall
 
 check: build vet race
+
+# ci mirrors .github/workflows/ci.yml exactly: formatting, the tier-1
+# check gate, the focused WAL/replication race gate, and a smoke pass of
+# every benchmark harness. Run it locally before pushing.
+ci: fmtcheck check racewal benchsmoke
+
+# fmtcheck fails (and lists the offenders) if any tracked Go file is not
+# gofmt-clean; it never rewrites files.
+fmtcheck:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
 
 # racewal is the focused replication-pipeline gate: the WAL page/group
 # commit machinery and its cluster consumers under the race detector.
@@ -39,6 +51,21 @@ benchgc:
 # invalidations under cache-aware vs size-only run selection.
 benchmerge:
 	go run ./cmd/s2bench -exp merge -out BENCH_PR4.json
+
+# benchws regenerates BENCH_PR5.json: primary p99 scan latency under an
+# adversarial analytic-workspace churn, baseline vs the pre-partitioning
+# shared cache vs the per-workspace partitioned cache.
+benchws:
+	go run ./cmd/s2bench -exp wscache -out BENCH_PR5.json
+
+# benchsmoke runs every benchmark harness end to end at tiny scale and
+# never rewrites the committed JSON artifacts — the CI guard against
+# harness rot.
+benchsmoke:
+	go run ./cmd/s2bench -exp veccache -smoke
+	go run ./cmd/s2bench -exp groupcommit -smoke
+	go run ./cmd/s2bench -exp merge -smoke
+	go run ./cmd/s2bench -exp wscache -smoke
 
 # benchall runs the full Go benchmark suite (paper tables + ablations).
 benchall:

@@ -9,7 +9,12 @@
 //	s2bench -exp veccache  # decoded-vector cache cold/warm (BENCH_PR2.json)
 //	s2bench -exp groupcommit # page-based group commit (BENCH_PR3.json)
 //	s2bench -exp merge     # columnar k-way merge pipeline (BENCH_PR4.json)
+//	s2bench -exp wscache   # per-workspace cache isolation (BENCH_PR5.json)
 //	s2bench -exp all       # every table/figure (JSON experiments stay opt-in)
+//
+// -smoke shrinks the JSON experiments to seconds-scale harness checks (tiny
+// row counts, no artifact overwrite) so CI catches benchmark bit-rot
+// without paying full bench cost.
 //
 // Absolute numbers are laptop-scale; compare shapes against the paper (see
 // EXPERIMENTS.md).
@@ -33,47 +38,43 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, table2, figure4, figure5, table3, veccache, groupcommit, merge, all")
-	out := flag.String("out", "", "output path for -exp veccache (BENCH_PR2.json), -exp groupcommit (BENCH_PR3.json) or -exp merge (BENCH_PR4.json)")
+	exp := flag.String("exp", "all", "experiment: table1, table2, figure4, figure5, table3, veccache, groupcommit, merge, wscache, all")
+	out := flag.String("out", "", "output path for -exp veccache (BENCH_PR2.json), -exp groupcommit (BENCH_PR3.json), -exp merge (BENCH_PR4.json) or -exp wscache (BENCH_PR5.json)")
 	sf := flag.Float64("sf", 0.01, "TPC-H scale factor")
 	warehouses := flag.Int("warehouses", 2, "TPC-C warehouses")
 	duration := flag.Duration("duration", 3*time.Second, "per-measurement duration")
 	seed := flag.Int64("seed", 1, "data generation seed")
+	smoke := flag.Bool("smoke", false, "harness smoke test: tiny row counts, skip writing JSON artifacts")
 	flag.Parse()
 
-	// veccache and groupcommit write JSON artifacts, so they run only when
-	// asked for explicitly (not under -exp all).
-	if *exp == "veccache" {
+	// The JSON experiments write artifacts, so they run only when asked for
+	// explicitly (not under -exp all).
+	jsonBench := func(name, defaultOut string, f func(path string, smoke bool) error) bool {
+		if *exp != name {
+			return false
+		}
 		path := *out
 		if path == "" {
-			path = "BENCH_PR2.json"
+			path = defaultOut
 		}
-		if err := veccacheBench(path); err != nil {
-			fmt.Fprintf(os.Stderr, "veccache: %v\n", err)
+		if err := f(path, *smoke); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
 			os.Exit(1)
 		}
+		return true
+	}
+	if jsonBench("veccache", "BENCH_PR2.json", veccacheBench) {
 		return
 	}
-	if *exp == "groupcommit" {
-		path := *out
-		if path == "" {
-			path = "BENCH_PR3.json"
-		}
-		if err := groupCommitBench(path, *duration); err != nil {
-			fmt.Fprintf(os.Stderr, "groupcommit: %v\n", err)
-			os.Exit(1)
-		}
+	if jsonBench("groupcommit", "BENCH_PR3.json", func(path string, smoke bool) error {
+		return groupCommitBench(path, *duration, smoke)
+	}) {
 		return
 	}
-	if *exp == "merge" {
-		path := *out
-		if path == "" {
-			path = "BENCH_PR4.json"
-		}
-		if err := mergeBench(path); err != nil {
-			fmt.Fprintf(os.Stderr, "merge: %v\n", err)
-			os.Exit(1)
-		}
+	if jsonBench("merge", "BENCH_PR4.json", mergeBench) {
+		return
+	}
+	if jsonBench("wscache", "BENCH_PR5.json", wscacheBench) {
 		return
 	}
 

@@ -25,7 +25,10 @@ import (
 //     hold-structMu-for-everything scope;
 //  3. decoded-vector cache invalidations caused by one merge step — the
 //     cache-aware planner (prefers cold runs) vs. size-only selection.
-func mergeBench(out string) error {
+//
+// smoke shrinks the runs, cycles and injected latency to a seconds-scale
+// harness check and skips the JSON artifact.
+func mergeBench(out string, smoke bool) error {
 	report := struct {
 		Benchmark  string `json:"benchmark"`
 		Throughput struct {
@@ -57,13 +60,13 @@ func mergeBench(out string) error {
 	}{Benchmark: "columnar k-way merge pipeline (PR 4)"}
 
 	// --- 1. merge throughput: columnar+parallel vs row-resort ------------
-	const (
-		tpRuns       = 12
-		tpRowsPerRun = 16384
-	)
+	tpRuns, tpRowsPerRun, tpTrials := 12, 16384, 3
+	if smoke {
+		tpRuns, tpRowsPerRun, tpTrials = 4, 1024, 1
+	}
 	timeMerge := func(cfg core.Config) (rows int, best time.Duration, err error) {
 		best = time.Duration(1<<62 - 1)
-		for trial := 0; trial < 3; trial++ {
+		for trial := 0; trial < tpTrials; trial++ {
 			tbl, err := newMergeBenchTable(cfg, core.NewMemFiles(), false)
 			if err != nil {
 				return 0, 0, err
@@ -103,9 +106,12 @@ func mergeBench(out string) error {
 	report.Throughput.Speedup = report.Throughput.ColumnarRowsPerS / report.Throughput.RowsortRowsPerS
 
 	// --- 2. foreground write p99 during an in-flight merge ---------------
-	const saveLatency = 2 * time.Millisecond
+	saveLatency, fgCycles, fgRowsPerRun := 2*time.Millisecond, 6, 2048
+	if smoke {
+		saveLatency, fgCycles, fgRowsPerRun = 500*time.Microsecond, 2, 512
+	}
 	foreground := func(holdLock bool) (p99, max float64, n int, err error) {
-		cfg := core.Config{MaxSegmentRows: 2048, MergeFanout: 4, MergeWorkers: 4}
+		cfg := core.Config{MaxSegmentRows: fgRowsPerRun, MergeFanout: 4, MergeWorkers: 4}
 		if holdLock {
 			cfg.MergeRowSort = true
 			cfg.MergeHoldLock = true
@@ -117,13 +123,13 @@ func mergeBench(out string) error {
 		}
 		nextID := 0
 		var samples []time.Duration
-		for cycle := 0; cycle < 6; cycle++ {
+		for cycle := 0; cycle < fgCycles; cycle++ {
 			// Four fresh same-tier runs so every cycle triggers one merge.
 			base := nextID
-			if err := fillRuns(tbl, 4, 2048, nextID); err != nil {
+			if err := fillRuns(tbl, 4, fgRowsPerRun, nextID); err != nil {
 				return 0, 0, 0, err
 			}
-			nextID += 4 * 2048
+			nextID += 4 * fgRowsPerRun
 			done := make(chan struct{})
 			go func() {
 				tbl.Merge()
@@ -175,9 +181,13 @@ func mergeBench(out string) error {
 	report.Foreground.LockedP99Ms, report.Foreground.LockedMaxMs, report.Foreground.LockedN = lp99, lmax, ln
 
 	// --- 3. cache-aware planning vs size-only --------------------------
+	caRowsPerRun := 4096
+	if smoke {
+		caRowsPerRun = 512
+	}
 	invalidations := func(cacheAware bool) (int64, error) {
 		vc := exec.NewVecCache(64 << 20)
-		cfg := core.Config{MaxSegmentRows: 4096, MergeFanout: 4}
+		cfg := core.Config{MaxSegmentRows: caRowsPerRun, MergeFanout: 4}
 		if cacheAware {
 			cfg.DecodedCache = vc
 		} else {
@@ -189,7 +199,7 @@ func mergeBench(out string) error {
 		if err != nil {
 			return 0, err
 		}
-		if err := fillRuns(tbl, 6, 4096, 0); err != nil {
+		if err := fillRuns(tbl, 6, caRowsPerRun, 0); err != nil {
 			return 0, err
 		}
 		// Warm two runs: decode all columns and add extra hits so their heat
@@ -235,6 +245,15 @@ func mergeBench(out string) error {
 		"cache_aware_fewer_invalidations":   invAware < invSize,
 	}
 
+	if smoke {
+		// At smoke scale the timing comparisons are noise; only check that
+		// every stage of the harness still runs end to end.
+		if rows == 0 || un == 0 || ln == 0 {
+			return fmt.Errorf("smoke: a harness stage produced no data (rows=%d fg=%d/%d)", rows, un, ln)
+		}
+		fmt.Println("smoke mode: harness OK, JSON artifact not written")
+		return nil
+	}
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err

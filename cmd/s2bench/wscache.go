@@ -1,0 +1,262 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"s2db"
+)
+
+// wscacheBench measures per-workspace vector-cache isolation (PR 5): the
+// primary runs a small zone-mapped hot query while an adversarial analytic
+// workspace churns the cache with full-table sweeps whose decoded working
+// set exceeds the whole cache budget. Three configurations:
+//
+//   - baseline: no workspace attached — the primary's hot set stays
+//     resident and every sampled query is warm;
+//   - shared: SharedVectorCache=true (the pre-partitioning process-wide
+//     LRU) — each adversary sweep evicts the primary's hot set, so sampled
+//     queries keep re-decoding;
+//   - partitioned: the default two-tier group — the adversary only churns
+//     its own hot tier and the shared backing tier, and the primary's p99
+//     stays near baseline.
+//
+// Methodology: churn is interleaved, not concurrent — every sampled
+// primary query is preceded by one complete (unmeasured) adversary sweep,
+// so the numbers isolate cache pollution rather than CPU contention from a
+// sweep running at the same instant, which no cache policy could fix. All
+// three environments are open simultaneously and sampled round-robin, so
+// ambient machine noise (GC, neighbors, frequency shifts) lands on every
+// mode equally instead of biasing whichever run it happened during.
+//
+// Results land in BENCH_PR5.json. smoke shrinks the table and sample count
+// and skips the JSON artifact.
+func wscacheBench(out string, smoke bool) error {
+	const cacheBytes = 2 << 20
+	rows, samples, warmups := 120_000, 150, 10
+	if smoke {
+		rows, samples, warmups = 8_000, 10, 2
+	}
+
+	type result struct {
+		Name            string  `json:"name"`
+		Samples         int     `json:"samples"`
+		P50Ms           float64 `json:"primary_p50_ms"`
+		P99Ms           float64 `json:"primary_p99_ms"`
+		MaxMs           float64 `json:"primary_max_ms"`
+		AdversarySweeps int     `json:"adversary_sweeps"`
+		PrimaryDecodes  int64   `json:"primary_tier_misses"`
+		PrimaryHits     int64   `json:"primary_tier_hits"`
+		SharedTierHits  int64   `json:"shared_tier_hits"`
+		WorkspaceBytes  int64   `json:"workspace_tier_bytes"`
+	}
+
+	type env struct {
+		name   string
+		db     *s2db.DB
+		sweep  func() error
+		hot    func() error
+		durs   []time.Duration
+		sweeps int
+	}
+
+	setup := func(name string, withAdversary, sharedCache bool) (*env, error) {
+		e := &env{name: name}
+		db, err := s2db.Open(s2db.Config{
+			Partitions:        4,
+			VectorCacheBytes:  cacheBytes,
+			SharedVectorCache: sharedCache,
+			MaxSegmentRows:    4096,
+		})
+		if err != nil {
+			return nil, err
+		}
+		e.db = db
+		schema := s2db.NewSchema(
+			s2db.Column{Name: "id", Type: s2db.Int64T},
+			s2db.Column{Name: "kind", Type: s2db.StringT},
+			s2db.Column{Name: "amount", Type: s2db.Int64T},
+			s2db.Column{Name: "score", Type: s2db.Float64T},
+		)
+		// Sort by id so zone maps cluster the primary's hot range into a few
+		// segments per partition; shard by id for even partition spread.
+		schema.SortKey = 0
+		schema.ShardKey = []int{0}
+		if err := db.CreateTable("events", schema); err != nil {
+			return e, err
+		}
+		batch := make([]s2db.Row, 0, rows)
+		for i := 0; i < rows; i++ {
+			batch = append(batch, s2db.Row{
+				s2db.Int(int64(i)),
+				s2db.Str(fmt.Sprintf("kind-%02d", i%17)),
+				s2db.Int(int64(i % 1000)),
+				s2db.Float(float64(i) * 0.5),
+			})
+		}
+		if err := db.BulkLoad("events", batch); err != nil {
+			return e, err
+		}
+
+		// The primary's operational query: a zone-mapped range over ~1/8 of
+		// the table, touching the id, kind and amount vectors of the hot
+		// segments. The string column makes a cache miss expensive (string
+		// decode allocates per value), the way real pollution hurts.
+		e.hot = func() error {
+			_, err := db.Query("events").
+				Where(s2db.LtName("id", s2db.Int(int64(rows/8)))).
+				GroupByNames("kind").
+				Agg(s2db.CountAll(), s2db.SumName("amount")).
+				Rows()
+			return err
+		}
+
+		// The adversary: a full-table sweep on a read-only workspace
+		// decoding every column, a working set larger than the whole cache
+		// budget. Without an adversary the sweep is a no-op.
+		e.sweep = func() error { return nil }
+		if withAdversary {
+			ws, err := db.CreateWorkspace("analytics")
+			if err != nil {
+				return e, err
+			}
+			if err := ws.WaitCaughtUp(30 * time.Second); err != nil {
+				return e, err
+			}
+			e.sweep = func() error {
+				if _, err := db.Query("events").OnWorkspace(ws).
+					GroupByNames("kind").
+					Agg(s2db.CountAll(), s2db.SumName("amount"), s2db.AvgName("score")).
+					Rows(); err != nil {
+					return fmt.Errorf("%s adversary sweep: %w", name, err)
+				}
+				e.sweeps++
+				return nil
+			}
+		}
+		return e, nil
+	}
+
+	envs := make([]*env, 0, 3)
+	defer func() {
+		for _, e := range envs {
+			if e.db != nil {
+				e.db.Close()
+			}
+		}
+	}()
+	for _, c := range []struct {
+		name          string
+		withAdversary bool
+		sharedCache   bool
+	}{
+		{"primary/no-workspace", false, false},
+		{"primary/churn-shared-cache", true, true},
+		{"primary/churn-partitioned", true, false},
+	} {
+		e, err := setup(c.name, c.withAdversary, c.sharedCache)
+		if e != nil {
+			envs = append(envs, e)
+		}
+		if err != nil {
+			return fmt.Errorf("%s: %w", c.name, err)
+		}
+	}
+
+	// Let post-load background work (flush, staging) drain and clear the
+	// load's allocation debris before timing anything.
+	time.Sleep(500 * time.Millisecond)
+	runtime.GC()
+
+	// Busy-spin briefly before each timed query so it starts from the same
+	// CPU frequency state whether a decode-heavy sweep or nothing preceded
+	// it.
+	warmCPU := func() {
+		for end := time.Now().Add(5 * time.Millisecond); time.Now().Before(end); {
+		}
+	}
+
+	for i := 0; i < warmups+samples; i++ {
+		for _, e := range envs {
+			if err := e.sweep(); err != nil {
+				return err
+			}
+			warmCPU()
+			start := time.Now()
+			if err := e.hot(); err != nil {
+				return fmt.Errorf("%s hot query: %w", e.name, err)
+			}
+			if i >= warmups {
+				e.durs = append(e.durs, time.Since(start))
+			}
+		}
+	}
+
+	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+	finish := func(e *env) result {
+		sort.Slice(e.durs, func(i, j int) bool { return e.durs[i] < e.durs[j] })
+		res := result{
+			Name:            e.name,
+			Samples:         len(e.durs),
+			P50Ms:           ms(e.durs[len(e.durs)/2]),
+			P99Ms:           ms(e.durs[int(float64(len(e.durs)-1)*0.99)]),
+			MaxMs:           ms(e.durs[len(e.durs)-1]),
+			AdversarySweeps: e.sweeps,
+		}
+		stats := e.db.VectorCacheStats()
+		res.PrimaryDecodes = stats.Primary.Misses
+		res.PrimaryHits = stats.Primary.Hits
+		res.SharedTierHits = stats.Shared.Hits
+		if ws, ok := stats.Workspaces["analytics"]; ok {
+			res.WorkspaceBytes = ws.Bytes
+		}
+		fmt.Printf("%-32s p50 %7.3fms  p99 %7.3fms  max %7.3fms  (%d samples, %d sweeps, primary hits/misses %d/%d)\n",
+			e.name, res.P50Ms, res.P99Ms, res.MaxMs, res.Samples, e.sweeps, res.PrimaryHits, res.PrimaryDecodes)
+		return res
+	}
+	baseline := finish(envs[0])
+	shared := finish(envs[1])
+	partitioned := finish(envs[2])
+
+	ratioPart := partitioned.P99Ms / baseline.P99Ms
+	ratioShared := shared.P99Ms / baseline.P99Ms
+	payload := map[string]any{
+		"benchmark":   "per-workspace vector-cache partitioning (PR 5)",
+		"command":     "s2bench -exp wscache",
+		"cache_bytes": cacheBytes,
+		"rows":        rows,
+		"benchmarks":  []result{baseline, shared, partitioned},
+		"p99_ratio_vs_baseline": map[string]float64{
+			"shared_cache": ratioShared,
+			"partitioned":  ratioPart,
+		},
+		"acceptance": map[string]any{
+			"partitioned_p99_within_1_5x_of_baseline": ratioPart <= 1.5,
+			"shared_cache_degrades_more":              ratioShared > ratioPart,
+		},
+	}
+	fmt.Printf("p99 vs baseline: partitioned %.2fx, shared cache %.2fx\n", ratioPart, ratioShared)
+
+	if smoke {
+		if baseline.Samples == 0 || shared.AdversarySweeps == 0 || partitioned.AdversarySweeps == 0 {
+			return fmt.Errorf("smoke: a stage produced no data (%d samples, %d/%d sweeps)",
+				baseline.Samples, shared.AdversarySweeps, partitioned.AdversarySweeps)
+		}
+		fmt.Println("smoke mode: harness OK, JSON artifact not written")
+		return nil
+	}
+	data, err := json.MarshalIndent(payload, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	return nil
+}

@@ -18,6 +18,11 @@ type Plan struct {
 	// Workspace names the read-only workspace serving the query; empty
 	// means the primary cluster.
 	Workspace string
+	// CachePartition names the decoded-vector cache partition the scan
+	// resolves against ("primary", a workspace name, or empty when the
+	// cache is disabled). With SharedVectorCache on, every query reports
+	// "primary" — the single unified tier.
+	CachePartition string
 	// Partitions is the number of leaf views the query fans out to.
 	Partitions int
 	// Parallelism is the worker-pool bound for concurrent partition scans.
@@ -63,6 +68,14 @@ func (q *Query) Explain() (Plan, error) {
 	}
 	if q.workspace != nil {
 		p.Workspace = q.workspace.Name
+	}
+	// Report the cache partition the leaf views actually carry, rather than
+	// inferring it from routing: unified mode and a disabled cache both
+	// diverge from the workspace name.
+	if len(r.views) > 0 {
+		if c, ok := r.views[0].DecodedCache().(*exec.VecCache); ok {
+			p.CachePartition = c.PartitionName()
+		}
 	}
 	for _, c := range r.groupCols {
 		p.GroupBy = append(p.GroupBy, r.schema.Columns[c].Name)
@@ -120,8 +133,12 @@ func (p Plan) String() string {
 			s.RowsOutput, s.RowsScanned)
 	}
 	if s.VecCacheHits+s.VecCacheMisses+s.VecCacheWaits+s.VecDecodes > 0 {
-		fmt.Fprintf(&b, "  vector cache: %d hits, %d misses, %d waits, %d evictions; %d column decodes\n",
-			s.VecCacheHits, s.VecCacheMisses, s.VecCacheWaits, s.VecCacheEvictions, s.VecDecodes)
+		part := p.CachePartition
+		if part == "" {
+			part = "(none)"
+		}
+		fmt.Fprintf(&b, "  vector cache [%s]: %d hits (%d from shared tier), %d misses, %d waits, %d evictions; %d column decodes\n",
+			part, s.VecCacheHits, s.VecCacheSharedHits, s.VecCacheMisses, s.VecCacheWaits, s.VecCacheEvictions, s.VecDecodes)
 	}
 	return b.String()
 }

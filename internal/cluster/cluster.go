@@ -32,11 +32,16 @@ type Config struct {
 	ReplicationLatency time.Duration
 	// Table configures per-partition table storage.
 	Table core.Config
-	// DecodedCache is the node-wide decoded-vector cache shared by every
-	// partition, replica and workspace of this cluster (the in-memory tier
-	// above the per-partition data-file caches). It is threaded into each
-	// table's core.Config so LSM merges invalidate retired segments.
+	// DecodedCache is the primary cluster's decoded-vector cache handle,
+	// shared by every master and HA replica (the in-memory tier above the
+	// per-partition data-file caches). It is threaded into each table's
+	// core.Config so LSM merges invalidate retired segments.
 	DecodedCache core.DecodedVectorCache
+	// CachePartitions, when non-nil, provisions an isolated decoded-vector
+	// cache partition per workspace, so an analytic workspace churning cold
+	// segments cannot evict the primary's hot set (§5 isolation). Workspace
+	// replica tables get the attached handle instead of DecodedCache.
+	CachePartitions CachePartitioner
 	// CommitTimeout bounds durability waits.
 	CommitTimeout time.Duration
 	// ChunkRecords and SnapshotEvery tune blob staging.
@@ -53,6 +58,16 @@ type Config struct {
 	// buffer before it is detached as a slow consumer. Zero uses the WAL
 	// default (256MiB).
 	SubscriptionBudget int
+}
+
+// CachePartitioner hands out per-workspace decoded-vector cache handles.
+// Attach provisions (and budgets) the partition for a workspace; Detach
+// releases it and returns its budget to the pool. Implemented by the
+// top-level DB over exec.VecCacheGroup — an interface here so cluster does
+// not depend on the execution engine.
+type CachePartitioner interface {
+	Attach(name string) (core.DecodedVectorCache, error)
+	Detach(name string)
 }
 
 func (c Config) pageConfig() wal.PageConfig {
@@ -114,7 +129,7 @@ func New(cfg Config) (*Cluster, error) {
 		var reps []*Partition
 		var links []*Link
 		for r := 0; r < cfg.SyncReplicas; r++ {
-			rep := c.newReplicaPartition(i)
+			rep := c.newReplicaPartition(i, nil)
 			link := StartLink(p, rep, true, cfg.ReplicationLatency, c.replicaID())
 			reps = append(reps, rep)
 			links = append(links, link)
@@ -141,9 +156,15 @@ func (c *Cluster) replicaID() int {
 
 // newReplicaPartition creates a replica with background maintenance
 // disabled (replicas replay the master's flush/merge records instead).
-func (c *Cluster) newReplicaPartition(part int) *Partition {
+// cache overrides the table-level decoded-vector cache handle when non-nil
+// (workspace replicas scan through their workspace's partition; HA replicas
+// pass nil and inherit the primary handle).
+func (c *Cluster) newReplicaPartition(part int, cache core.DecodedVectorCache) *Partition {
 	tcfg := c.cfg.Table
 	tcfg.Background = false
+	if cache != nil {
+		tcfg.DecodedCache = cache
+	}
 	files := NewPartitionFiles(c.blobPrefix(part), c.cfg.Blob, c.cfg.CacheBytes)
 	return newPartition(c.cfg.Name, part, RoleReplica, tcfg, files, c.cfg.CommitMode, 0, c.cfg.pageConfig())
 }

@@ -27,18 +27,40 @@ type Workspace struct {
 // storage and replicate the tail of the log ... from the master", §3.1);
 // without one it replays the master's full log.
 func (c *Cluster) CreateWorkspace(name string) (*Workspace, error) {
+	if name == "" {
+		return nil, fmt.Errorf("cluster: workspace name cannot be empty")
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if _, dup := c.workspace[name]; dup {
 		return nil, fmt.Errorf("cluster: workspace %s already exists", name)
 	}
+	// Provision the workspace's decoded-vector cache partition first, so
+	// every replica table scans (and invalidates) through its own budget
+	// rather than the primary's.
+	var wsCache core.DecodedVectorCache
+	if c.cfg.CachePartitions != nil {
+		h, err := c.cfg.CachePartitions.Attach(name)
+		if err != nil {
+			return nil, fmt.Errorf("workspace %s: %w", name, err)
+		}
+		wsCache = h
+	}
 	ws := &Workspace{Name: name}
+	fail := func(err error) (*Workspace, error) {
+		ws.close()
+		if c.cfg.CachePartitions != nil {
+			c.cfg.CachePartitions.Detach(name)
+		}
+		return nil, err
+	}
 	for pi, master := range c.masters {
-		rep := c.newReplicaPartition(pi)
+		rep := c.newReplicaPartition(pi, wsCache)
 		// DDL: materialize the catalog on the new partition.
 		for tname, schema := range c.catalog {
 			if err := rep.CreateTable(tname, schema); err != nil {
-				return nil, err
+				rep.Close()
+				return fail(err)
 			}
 		}
 		from := uint64(0)
@@ -48,13 +70,15 @@ func (c *Cluster) CreateWorkspace(name string) (*Workspace, error) {
 			c.stagers[pi].Step()
 			lsn, err := c.bootstrapFromBlob(rep, pi)
 			if err != nil {
-				return nil, fmt.Errorf("workspace %s: partition %d: %w", name, pi, err)
+				rep.Close()
+				return fail(fmt.Errorf("workspace %s: partition %d: %w", name, pi, err))
 			}
 			from = lsn
 		}
 		link := StartLinkFrom(master, rep, false, c.cfg.ReplicationLatency, c.replicaID(), from)
 		if err := link.Err(); err != nil {
-			return nil, fmt.Errorf("workspace %s: partition %d: %w", name, pi, err)
+			rep.Close()
+			return fail(fmt.Errorf("workspace %s: partition %d: %w", name, pi, err))
 		}
 		ws.parts = append(ws.parts, rep)
 		ws.links = append(ws.links, link)
@@ -244,6 +268,11 @@ func (c *Cluster) DetachWorkspace(name string) error {
 	}
 	ws.close()
 	delete(c.workspace, name)
+	if c.cfg.CachePartitions != nil {
+		// Release the workspace's cache partition: its entries are discarded
+		// and its budget returns to the pool for the remaining partitions.
+		c.cfg.CachePartitions.Detach(name)
+	}
 	return nil
 }
 

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 
 	"s2db/internal/bitmap"
 	"s2db/internal/codec"
@@ -42,10 +43,21 @@ type Segment struct {
 	Min, Max []types.Value
 	HasRange []bool
 	schema   *types.Schema
+	// retired is set (once, never cleared) when an LSM merge retires the
+	// segment. Cache layers that move decoded vectors between tiers check it
+	// under their own locks, so an invalidation racing a demotion or
+	// promotion cannot resurrect a vector after every tier was purged.
+	retired atomic.Bool
 }
 
 // Schema returns the table schema the segment was built under.
 func (s *Segment) Schema() *types.Schema { return s.schema }
+
+// Retire marks the segment as retired by a merge. Retirement is one-way.
+func (s *Segment) Retire() { s.retired.Store(true) }
+
+// Retired reports whether a merge has retired the segment.
+func (s *Segment) Retired() bool { return s.retired.Load() }
 
 // Builder accumulates rows and produces an immutable Segment.
 type Builder struct {

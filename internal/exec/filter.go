@@ -224,6 +224,10 @@ type ScanStats struct {
 	VecCacheWaits     int64
 	VecCacheEvictions int64
 	VecDecodes        int64
+	// VecCacheSharedHits counts hits served by promoting a vector out of
+	// the cache group's shared backing tier (a subset of VecCacheHits);
+	// zero on a standalone (non-partitioned) cache.
+	VecCacheSharedHits int64
 }
 
 // Leaf is a comparison clause: col op val (with optional IN-list).

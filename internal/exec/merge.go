@@ -167,6 +167,7 @@ func accumulate(dst *ScanStats, src ScanStats) {
 	dst.VecCacheWaits += src.VecCacheWaits
 	dst.VecCacheEvictions += src.VecCacheEvictions
 	dst.VecDecodes += src.VecDecodes
+	dst.VecCacheSharedHits += src.VecCacheSharedHits
 }
 
 // AccumulateStats merges src into dst; the fan-out coordinator uses it to

@@ -91,12 +91,28 @@ type Config struct {
 	BlobPutLatency, BlobGetLatency time.Duration
 	// CacheBytes bounds the per-partition local data-file cache.
 	CacheBytes int
-	// VectorCacheBytes bounds the process-wide decoded-vector cache: an LRU
+	// VectorCacheBytes bounds the node-wide decoded-vector cache: an LRU
 	// of fully decoded column vectors shared across queries (and across the
 	// parallel scheduler's workers) so repeated scans of immutable segments
-	// skip decoding entirely. 0 uses DefaultVectorCacheBytes; negative
-	// disables the cache (scans fall back to private per-query decodes).
+	// skip decoding entirely. The budget is partitioned per workspace (see
+	// WorkspaceCacheShares): a quarter backs a shared second tier of demoted
+	// vectors, the rest splits into per-workspace hot tiers. 0 uses
+	// DefaultVectorCacheBytes; negative disables the cache (scans fall back
+	// to private per-query decodes).
 	VectorCacheBytes int
+	// WorkspaceCacheShares pins explicit fractions of the vector-cache hot
+	// pool to named workspaces; the reserved name "primary" pins the primary
+	// cluster's share. Partitions without an explicit entry split the
+	// unreserved remainder evenly, with the primary floored at half of it so
+	// attaching workspaces can never starve operational scans. Validated at
+	// Open: names must be non-empty, each share in (0, 1], and the shares
+	// must sum to at most 1.0.
+	WorkspaceCacheShares map[string]float64
+	// SharedVectorCache disables per-workspace cache partitioning: one
+	// process-wide LRU serves the primary and every workspace, so an
+	// analytic workspace's cold sweep can evict the primary's hot set. An
+	// ablation/benchmark knob; keep it off in production-shaped setups.
+	SharedVectorCache bool
 	// CommitToBlob forces the cloud-data-warehouse commit path (used by
 	// the ablation experiments; S2DB's design keeps it off).
 	CommitToBlob bool
@@ -142,24 +158,62 @@ func NewDiskBlobStore(dir string) (BlobStore, error) { return blob.NewDisk(dir) 
 // Config.VectorCacheBytes is zero.
 const DefaultVectorCacheBytes = 64 << 20
 
-// VectorCacheStats snapshots the decoded-vector cache counters.
-type VectorCacheStats = exec.VecCacheStats
+// VecCacheStats snapshots one cache tier's counters (hits, misses,
+// evictions, demotions into / promotions out of the shared tier, residency).
+type VecCacheStats = exec.VecCacheStats
+
+// VectorCacheStats is the per-tier breakdown of the partitioned
+// decoded-vector cache: the primary's hot tier, each workspace's hot tier
+// by name, the shared backing tier of demoted vectors, and the fold of all
+// of them.
+type VectorCacheStats struct {
+	// Total folds every tier's counters together (the pre-partitioning
+	// process-wide view).
+	Total VecCacheStats
+	// Primary is the primary cluster's hot tier.
+	Primary VecCacheStats
+	// Shared is the backing tier holding vectors demoted from hot tiers;
+	// its Hits count promotions served without a decode.
+	Shared VecCacheStats
+	// Workspaces holds each attached workspace's hot tier by name.
+	Workspaces map[string]VecCacheStats
+}
+
+// HitRate reports the cache-wide hit rate across all tiers.
+func (s VectorCacheStats) HitRate() float64 { return s.Total.HitRate() }
 
 // DB is a running database.
 type DB struct {
 	cluster *cluster.Cluster
 	cfg     Config
-	vec     *exec.VecCache
+	vec     *exec.VecCacheGroup
 }
 
-// newVecCache resolves the VectorCacheBytes knob: 0 = default, <0 =
-// disabled (nil cache).
-func newVecCache(bytes int) *exec.VecCache {
+// newVecCacheGroup resolves the cache knobs: VectorCacheBytes 0 = default,
+// <0 = disabled (nil group); shares are validated even when disabled so a
+// misconfiguration never passes silently.
+func newVecCacheGroup(cfg Config) (*exec.VecCacheGroup, error) {
+	bytes := cfg.VectorCacheBytes
 	if bytes == 0 {
 		bytes = DefaultVectorCacheBytes
 	}
-	return exec.NewVecCache(bytes) // nil when bytes < 0
+	return exec.NewVecCacheGroup(bytes, cfg.WorkspaceCacheShares, cfg.SharedVectorCache)
 }
+
+// cachePartitioner adapts the exec cache group to the cluster's
+// CachePartitioner port, translating a nil *VecCache handle into a nil
+// interface so a disabled cache stays nil inside core.
+type cachePartitioner struct{ g *exec.VecCacheGroup }
+
+func (cp cachePartitioner) Attach(name string) (core.DecodedVectorCache, error) {
+	p, err := cp.g.AttachPartition(name)
+	if err != nil || p == nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func (cp cachePartitioner) Detach(name string) { cp.g.DetachPartition(name) }
 
 // Open creates and starts a database.
 func Open(cfg Config) (*DB, error) {
@@ -171,7 +225,10 @@ func Open(cfg Config) (*DB, error) {
 	if cfg.CommitToBlob {
 		mode = cluster.CommitBlob
 	}
-	vec := newVecCache(cfg.VectorCacheBytes)
+	vec, err := newVecCacheGroup(cfg)
+	if err != nil {
+		return nil, err
+	}
 	ccfg := cluster.Config{
 		Name:                cfg.Name,
 		Partitions:          cfg.Partitions,
@@ -187,11 +244,12 @@ func Open(cfg Config) (*DB, error) {
 			Background:     cfg.BackgroundMaintenance,
 			MergeWorkers:   cfg.MergeWorkers,
 		},
+		CachePartitions: cachePartitioner{g: vec},
 	}
-	if vec != nil {
+	if p := vec.Primary(); p != nil {
 		// Assigned only when enabled so a disabled cache stays a nil
 		// interface (not a typed-nil *VecCache) inside core.
-		ccfg.DecodedCache = vec
+		ccfg.DecodedCache = p
 	}
 	c, err := cluster.New(ccfg)
 	if err != nil {
@@ -200,9 +258,18 @@ func Open(cfg Config) (*DB, error) {
 	return &DB{cluster: c, cfg: cfg, vec: vec}, nil
 }
 
-// VectorCacheStats returns the decoded-vector cache counters; all zero
-// when the cache is disabled.
-func (db *DB) VectorCacheStats() VectorCacheStats { return db.vec.Stats() }
+// VectorCacheStats returns the decoded-vector cache counters broken down
+// by tier — the primary's hot tier, each workspace's hot tier and the
+// shared backing tier; all zero when the cache is disabled.
+func (db *DB) VectorCacheStats() VectorCacheStats {
+	gs := db.vec.Stats()
+	return VectorCacheStats{
+		Total:      gs.Total(),
+		Primary:    gs.Primary,
+		Shared:     gs.Shared,
+		Workspaces: gs.Workspaces,
+	}
+}
 
 // Close stops the database.
 func (db *DB) Close() { db.cluster.Close() }
@@ -285,16 +352,20 @@ func PointInTimeRestore(cfg Config, catalog map[string]*Schema, target time.Time
 	if cfg.BlobStore == nil {
 		return nil, fmt.Errorf("s2db: point-in-time restore requires a blob store")
 	}
-	vec := newVecCache(cfg.VectorCacheBytes)
-	ccfg := cluster.Config{
-		Name:       cfg.Name,
-		Partitions: cfg.Partitions,
-		Blob:       cfg.BlobStore,
-		CacheBytes: cfg.CacheBytes,
-		Table:      core.Config{MaxSegmentRows: cfg.MaxSegmentRows},
+	vec, err := newVecCacheGroup(cfg)
+	if err != nil {
+		return nil, err
 	}
-	if vec != nil {
-		ccfg.DecodedCache = vec
+	ccfg := cluster.Config{
+		Name:            cfg.Name,
+		Partitions:      cfg.Partitions,
+		Blob:            cfg.BlobStore,
+		CacheBytes:      cfg.CacheBytes,
+		Table:           core.Config{MaxSegmentRows: cfg.MaxSegmentRows},
+		CachePartitions: cachePartitioner{g: vec},
+	}
+	if p := vec.Primary(); p != nil {
+		ccfg.DecodedCache = p
 	}
 	c, err := cluster.PointInTimeRestore(ccfg, target)
 	if err != nil {
