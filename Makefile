@@ -1,14 +1,15 @@
 # Tier-1 gate: every change must pass `make check` — build, vet, and the
 # full test suite under the race detector (the parallel fan-out scheduler
 # runs on every query, so -race is part of the gate, not an extra).
-.PHONY: check ci fmtcheck build vet test race racewal bench benchgc benchmerge benchws benchsmoke benchall
+.PHONY: check ci fmtcheck build vet test race racewal bench benchgc benchmerge benchws benchsql benchsmoke benchall fuzzsmoke
 
 check: build vet race
 
 # ci mirrors .github/workflows/ci.yml exactly: formatting, the tier-1
-# check gate, the focused WAL/replication race gate, and a smoke pass of
-# every benchmark harness. Run it locally before pushing.
-ci: fmtcheck check racewal benchsmoke
+# check gate, the focused WAL/replication race gate, a smoke pass of
+# every benchmark harness, and a short fuzz pass of the SQL front-end.
+# Run it locally before pushing.
+ci: fmtcheck check racewal benchsmoke fuzzsmoke
 
 # fmtcheck fails (and lists the offenders) if any tracked Go file is not
 # gofmt-clean; it never rewrites files.
@@ -58,6 +59,12 @@ benchmerge:
 benchws:
 	go run ./cmd/s2bench -exp wscache -out BENCH_PR5.json
 
+# benchsql regenerates BENCH_PR6.json: amortized SQL latency per query
+# shape with a warm plan cache vs parse-every-time (PlanCacheEntries=0)
+# vs the native Go builder.
+benchsql:
+	go run ./cmd/s2bench -exp sqlplan -out BENCH_PR6.json
+
 # benchsmoke runs every benchmark harness end to end at tiny scale and
 # never rewrites the committed JSON artifacts — the CI guard against
 # harness rot.
@@ -66,6 +73,14 @@ benchsmoke:
 	go run ./cmd/s2bench -exp groupcommit -smoke
 	go run ./cmd/s2bench -exp merge -smoke
 	go run ./cmd/s2bench -exp wscache -smoke
+	go run ./cmd/s2bench -exp sqlplan -smoke
+
+# fuzzsmoke runs the SQL lexer/parser/normalizer fuzz targets for a few
+# seconds each: FuzzParse must never panic, FuzzNormalize must stay
+# idempotent. Long campaigns are manual; this is the CI regression guard.
+fuzzsmoke:
+	go test ./internal/sql -run '^$$' -fuzz '^FuzzParse$$' -fuzztime 10s
+	go test ./internal/sql -run '^$$' -fuzz '^FuzzNormalize$$' -fuzztime 10s
 
 # benchall runs the full Go benchmark suite (paper tables + ablations).
 benchall:

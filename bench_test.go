@@ -643,7 +643,7 @@ func BenchmarkParallelFanout(b *testing.B) {
 		run := func(b *testing.B, parallelism int) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				rows, err := db.Query("t").
+				rows, err := db.Table("t").
 					Where(s2db.GtName("amount", s2db.Int(100))).
 					GroupByNames("kind").
 					Agg(s2db.CountAll(), s2db.SumName("amount")).
@@ -712,7 +712,7 @@ func BenchmarkParallelFanoutSimIO(b *testing.B) {
 	for _, par := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("parallelism=%d", par), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				rows, err := db.Query("t").
+				rows, err := db.Table("t").
 					Where(filter()).
 					GroupByNames("kind").
 					Agg(s2db.CountAll(), s2db.SumName("amount")).
@@ -771,7 +771,7 @@ func BenchmarkVecCacheScan(b *testing.B) {
 			if err := db.BulkLoad("t", rows); err != nil {
 				b.Fatal(err)
 			}
-			q := db.Query("t").
+			q := db.Table("t").
 				Where(s2db.GtName("amount", s2db.Int(100))).
 				GroupByNames("kind").
 				Agg(s2db.CountAll(), s2db.SumName("amount"))

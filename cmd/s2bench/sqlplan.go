@@ -1,0 +1,281 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"s2db"
+)
+
+// sqlplanBench measures what the parameterized plan cache buys the SQL
+// front-end (PR 6). Three ways to run the same query shapes:
+//
+//   - native: the Go fluent builder, constructed fresh per call — the
+//     floor, since it pays no SQL text handling at all;
+//   - cached: SQL text with `?` binds through a warm plan cache — after
+//     the first call every preparation is an exact-text tier hit, so only
+//     bind validation and execution run;
+//   - parse: the same SQL against a DB opened with PlanCacheEntries=0 —
+//     the ablation, paying lex+parse+lower on every call.
+//
+// The acceptance shape: cached amortized latency within 1.1x of native and
+// below parse-every-time. Both DBs hold identical data; samples interleave
+// round-robin across modes so ambient noise lands on every mode equally.
+//
+// Results land in BENCH_PR6.json. smoke shrinks rows and samples and skips
+// the JSON artifact.
+func sqlplanBench(out string, smoke bool) error {
+	rows, samples, warmups := 4_000, 400, 20
+	if smoke {
+		rows, samples, warmups = 500, 10, 2
+	}
+
+	open := func(planCacheEntries int) (*s2db.DB, error) {
+		db, err := s2db.Open(s2db.Config{
+			Partitions:       2,
+			PlanCacheEntries: planCacheEntries,
+			MaxSegmentRows:   1024,
+		})
+		if err != nil {
+			return nil, err
+		}
+		schema := s2db.NewSchema(
+			s2db.Column{Name: "id", Type: s2db.Int64T},
+			s2db.Column{Name: "category", Type: s2db.StringT},
+			s2db.Column{Name: "quantity", Type: s2db.Int64T},
+			s2db.Column{Name: "price", Type: s2db.Float64T},
+		)
+		schema.UniqueKey = []int{0}
+		schema.ShardKey = []int{0}
+		schema.SecondaryKeys = [][]int{{1}}
+		if err := db.CreateTable("orders", schema); err != nil {
+			db.Close()
+			return nil, err
+		}
+		cats := []string{"books", "games", "tools", "music"}
+		data := make([]s2db.Row, rows)
+		for i := range data {
+			data[i] = s2db.Row{
+				s2db.Int(int64(i)),
+				s2db.Str(cats[i%len(cats)]),
+				s2db.Int(int64(i % 7)),
+				s2db.Float(float64(i%90) + 0.5),
+			}
+		}
+		if err := db.BulkLoad("orders", data); err != nil {
+			db.Close()
+			return nil, err
+		}
+		return db, nil
+	}
+
+	cached, err := open(s2db.DefaultPlanCacheEntries)
+	if err != nil {
+		return err
+	}
+	defer cached.Close()
+	nocache, err := open(0)
+	if err != nil {
+		return err
+	}
+	defer nocache.Close()
+
+	type shape struct {
+		name    string
+		sql     string
+		binds   []s2db.Value
+		builder func(db *s2db.DB) *s2db.Query
+	}
+	shapes := []shape{
+		{
+			name:  "secondary key equality",
+			sql:   "SELECT * FROM orders WHERE category = ?",
+			binds: []s2db.Value{s2db.Str("books")},
+			builder: func(db *s2db.DB) *s2db.Query {
+				return db.Table("orders").Where(s2db.EqName("category", s2db.Str("books")))
+			},
+		},
+		{
+			name:  "range scan",
+			sql:   "SELECT * FROM orders WHERE quantity < ?",
+			binds: []s2db.Value{s2db.Int(2)},
+			builder: func(db *s2db.DB) *s2db.Query {
+				return db.Table("orders").Where(s2db.LtName("quantity", s2db.Int(2)))
+			},
+		},
+		{
+			name:  "compound and/or",
+			sql:   "SELECT * FROM orders WHERE (category = ? AND quantity >= ?) OR price > ?",
+			binds: []s2db.Value{s2db.Str("games"), s2db.Int(5), s2db.Float(88.0)},
+			builder: func(db *s2db.DB) *s2db.Query {
+				return db.Table("orders").Where(s2db.Or(
+					s2db.And(s2db.EqName("category", s2db.Str("games")), s2db.GeName("quantity", s2db.Int(5))),
+					s2db.GtName("price", s2db.Float(88.0)),
+				))
+			},
+		},
+		{
+			name:  "in list",
+			sql:   "SELECT * FROM orders WHERE category IN (?, ?)",
+			binds: []s2db.Value{s2db.Str("tools"), s2db.Str("music")},
+			builder: func(db *s2db.DB) *s2db.Query {
+				return db.Table("orders").Where(s2db.InName("category", s2db.Str("tools"), s2db.Str("music")))
+			},
+		},
+		{
+			name:  "point lookup order limit",
+			sql:   "SELECT * FROM orders WHERE id = ? ORDER BY id LIMIT 1",
+			binds: []s2db.Value{s2db.Int(int64(rows / 2))},
+			builder: func(db *s2db.DB) *s2db.Query {
+				return db.Table("orders").Where(s2db.EqName("id", s2db.Int(int64(rows/2)))).
+					OrderBy(s2db.Asc("id")).Limit(1)
+			},
+		},
+		{
+			name: "group by aggregates",
+			sql:  "SELECT category, count(*), sum(quantity), avg(price) FROM orders GROUP BY category",
+			builder: func(db *s2db.DB) *s2db.Query {
+				return db.Table("orders").GroupByNames("category").
+					Agg(s2db.CountAll(), s2db.SumName("quantity"), s2db.AvgName("price"))
+			},
+		},
+		{
+			name:  "global aggregate",
+			sql:   "SELECT count(*), max(price) FROM orders WHERE quantity = ?",
+			binds: []s2db.Value{s2db.Int(3)},
+			builder: func(db *s2db.DB) *s2db.Query {
+				return db.Table("orders").Where(s2db.EqName("quantity", s2db.Int(3))).
+					Agg(s2db.CountAll(), s2db.MaxName("price"))
+			},
+		},
+		{
+			name:  "top-k order by",
+			sql:   "SELECT * FROM orders WHERE price >= ? ORDER BY price DESC, id ASC LIMIT 25",
+			binds: []s2db.Value{s2db.Float(60.0)},
+			builder: func(db *s2db.DB) *s2db.Query {
+				return db.Table("orders").Where(s2db.GeName("price", s2db.Float(60.0))).
+					OrderBy(s2db.Desc("price"), s2db.Asc("id")).Limit(25)
+			},
+		},
+	}
+
+	type mode struct {
+		name string
+		run  func(s shape) error
+	}
+	modes := []mode{
+		{"native", func(s shape) error {
+			_, err := s.builder(cached).Rows()
+			return err
+		}},
+		{"cached", func(s shape) error {
+			_, err := cached.Query(s.sql, s.binds...)
+			return err
+		}},
+		{"parse", func(s shape) error {
+			_, err := nocache.Query(s.sql, s.binds...)
+			return err
+		}},
+	}
+
+	// nanos[shape][mode] accumulates total time; round-robin across modes
+	// inside each sample so noise is shared.
+	nanos := make([][]int64, len(shapes))
+	for si, s := range shapes {
+		nanos[si] = make([]int64, len(modes))
+		for _, m := range modes {
+			for i := 0; i < warmups; i++ {
+				if err := m.run(s); err != nil {
+					return fmt.Errorf("%s/%s: %w", s.name, m.name, err)
+				}
+			}
+		}
+		for i := 0; i < samples; i++ {
+			for mi, m := range modes {
+				start := time.Now()
+				if err := m.run(s); err != nil {
+					return fmt.Errorf("%s/%s: %w", s.name, m.name, err)
+				}
+				nanos[si][mi] += time.Since(start).Nanoseconds()
+			}
+		}
+	}
+
+	type shapeResult struct {
+		Name           string  `json:"name"`
+		SQL            string  `json:"sql"`
+		NativeNs       int64   `json:"native_ns_per_query"`
+		CachedNs       int64   `json:"cached_ns_per_query"`
+		ParseNs        int64   `json:"parse_ns_per_query"`
+		CachedVsNative float64 `json:"cached_vs_native"`
+		ParseVsCached  float64 `json:"parse_vs_cached"`
+	}
+	results := make([]shapeResult, len(shapes))
+	geoCachedVsNative, geoParseVsCached := 0.0, 0.0
+	for si, s := range shapes {
+		native := nanos[si][0] / int64(samples)
+		cachedNs := nanos[si][1] / int64(samples)
+		parse := nanos[si][2] / int64(samples)
+		r := shapeResult{
+			Name: s.name, SQL: s.sql,
+			NativeNs: native, CachedNs: cachedNs, ParseNs: parse,
+			CachedVsNative: float64(cachedNs) / float64(native),
+			ParseVsCached:  float64(parse) / float64(cachedNs),
+		}
+		results[si] = r
+		geoCachedVsNative += math.Log(r.CachedVsNative)
+		geoParseVsCached += math.Log(r.ParseVsCached)
+	}
+	geoCachedVsNative = math.Exp(geoCachedVsNative / float64(len(shapes)))
+	geoParseVsCached = math.Exp(geoParseVsCached / float64(len(shapes)))
+
+	stats := cached.PlanCacheStats()
+	report := struct {
+		Bench             string        `json:"bench"`
+		Rows              int           `json:"rows"`
+		Samples           int           `json:"samples"`
+		Shapes            []shapeResult `json:"shapes"`
+		GeoCachedVsNative float64       `json:"geomean_cached_vs_native"`
+		GeoParseVsCached  float64       `json:"geomean_parse_vs_cached"`
+		PlanCacheHits     int64         `json:"plan_cache_hits"`
+		PlanCacheTextHits int64         `json:"plan_cache_text_hits"`
+		PlanCacheMisses   int64         `json:"plan_cache_misses"`
+		HitRate           float64       `json:"plan_cache_hit_rate"`
+	}{
+		Bench: "sqlplan", Rows: rows, Samples: samples, Shapes: results,
+		GeoCachedVsNative: geoCachedVsNative,
+		GeoParseVsCached:  geoParseVsCached,
+		PlanCacheHits:     stats.Hits,
+		PlanCacheTextHits: stats.TextHits,
+		PlanCacheMisses:   stats.Misses,
+		HitRate:           stats.HitRate(),
+	}
+
+	fmt.Printf("sqlplan: %d rows, %d samples/shape\n", rows, samples)
+	fmt.Printf("%-26s %12s %12s %12s %8s %8s\n", "shape", "native", "cached", "parse", "c/n", "p/c")
+	for _, r := range results {
+		fmt.Printf("%-26s %10dns %10dns %10dns %7.3fx %7.3fx\n",
+			r.Name, r.NativeNs, r.CachedNs, r.ParseNs, r.CachedVsNative, r.ParseVsCached)
+	}
+	fmt.Printf("geomean cached/native = %.3fx (acceptance: <= 1.1x)\n", geoCachedVsNative)
+	fmt.Printf("geomean parse/cached  = %.3fx (acceptance: > 1x)\n", geoParseVsCached)
+	fmt.Printf("plan cache: %d hits (%d text) / %d misses, hit rate %.4f\n",
+		stats.Hits, stats.TextHits, stats.Misses, stats.HitRate())
+
+	if smoke {
+		fmt.Println("smoke mode: skipping JSON artifact")
+		return nil
+	}
+	blob, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	return nil
+}

@@ -68,7 +68,7 @@ func veccacheBench(out string, smoke bool) error {
 	}
 
 	query := func(db *s2db.DB, parallelism int) *s2db.Query {
-		return db.Query("events").
+		return db.Table("events").
 			Where(s2db.GtName("amount", s2db.Int(100))).
 			GroupByNames("kind").
 			Agg(s2db.CountAll(), s2db.SumName("amount")).

@@ -107,7 +107,7 @@ func wscacheBench(out string, smoke bool) error {
 		// segments. The string column makes a cache miss expensive (string
 		// decode allocates per value), the way real pollution hurts.
 		e.hot = func() error {
-			_, err := db.Query("events").
+			_, err := db.Table("events").
 				Where(s2db.LtName("id", s2db.Int(int64(rows/8)))).
 				GroupByNames("kind").
 				Agg(s2db.CountAll(), s2db.SumName("amount")).
@@ -128,7 +128,7 @@ func wscacheBench(out string, smoke bool) error {
 				return e, err
 			}
 			e.sweep = func() error {
-				if _, err := db.Query("events").OnWorkspace(ws).
+				if _, err := db.Table("events").OnWorkspace(ws).
 					GroupByNames("kind").
 					Agg(s2db.CountAll(), s2db.SumName("amount"), s2db.AvgName("score")).
 					Rows(); err != nil {

@@ -96,7 +96,7 @@ func main() {
 				return
 			default:
 			}
-			if _, err := db.Query("readings").
+			if _, err := db.Table("readings").
 				GroupBy(1).
 				Agg(s2db.CountAll(), s2db.AvgCol(2), s2db.MaxCol(3)).
 				Rows(); err != nil {
@@ -114,7 +114,7 @@ func main() {
 	fmt.Printf("2s of mixed load: %d upserts, %d analytical queries\n",
 		writes.Load(), queries.Load())
 
-	rows, err := db.Query("readings").
+	rows, err := db.Table("readings").
 		GroupBy(1).
 		Agg(s2db.CountAll(), s2db.AvgCol(2), s2db.MaxCol(3)).
 		OrderBy(s2db.OrderBy{Col: 0}).
@@ -129,7 +129,7 @@ func main() {
 	}
 
 	// Show the adaptive-execution counters of one indexed analytical query.
-	q := db.Query("readings").Where(s2db.Eq(1, s2db.Str("eu")))
+	q := db.Table("readings").Where(s2db.Eq(1, s2db.Str("eu")))
 	n, _ := q.Count()
 	st := q.Stats()
 	fmt.Printf("eu devices: %d (segments scanned=%d skipped=%d, index filters=%d)\n",

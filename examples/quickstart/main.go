@@ -1,6 +1,6 @@
 // Quickstart: create a database, define a unified-storage table, ingest
-// rows, run a point read and an analytical aggregation — one engine for
-// both access patterns.
+// rows, then run point reads, updates and an analytical aggregation — all
+// through the SQL text front-end, one engine for both access patterns.
 package main
 
 import (
@@ -16,6 +16,7 @@ func main() {
 		Partitions:            4,
 		MaxSegmentRows:        1024,
 		BackgroundMaintenance: true,
+		PlanCacheEntries:      s2db.DefaultPlanCacheEntries,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -38,7 +39,8 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Bulk load historical data straight into columnstore segments...
+	// Bulk load historical data straight into columnstore segments (the
+	// bulk ingest path bypasses SQL on purpose)...
 	categories := []string{"books", "games", "tools"}
 	var batch []s2db.Row
 	for i := 0; i < 5000; i++ {
@@ -52,48 +54,50 @@ func main() {
 	if err := db.BulkLoad("orders", batch); err != nil {
 		log.Fatal(err)
 	}
-	// ...and stream new orders through the transactional path.
+	// ...and stream new orders through the transactional path. The INSERT
+	// text never changes, so after the first call every execution reuses
+	// the cached plan — only bind validation and the write itself run.
 	for i := 5000; i < 5100; i++ {
-		if err := db.Insert("orders", s2db.Row{
+		if _, err := db.Exec("INSERT INTO orders VALUES (?, ?, ?, ?)",
 			s2db.Int(int64(i)), s2db.Str("streaming"), s2db.Int(1), s2db.Float(9.99),
-		}); err != nil {
+		); err != nil {
 			log.Fatal(err)
 		}
 	}
 
 	// OLTP: indexed point read by unique key.
-	row, ok, err := db.Get("orders", s2db.Int(4242))
-	if err != nil || !ok {
-		log.Fatalf("point read failed: %v", err)
+	rows, err := db.Query("SELECT category, quantity, price FROM orders WHERE order_id = ?", s2db.Int(4242))
+	if err != nil || len(rows) != 1 {
+		log.Fatalf("point read failed: %v (%d rows)", err, len(rows))
 	}
 	fmt.Printf("order 4242: category=%s quantity=%d price=%.2f\n",
-		row[1].S, row[2].I, row[3].F)
+		rows[0][0].S, rows[0][1].I, rows[0][2].F)
 
 	// OLTP: a keyed update (row-level locking under the hood).
-	if _, err := db.Update("orders",
-		s2db.Where{Col: 0, Val: s2db.Int(4242)},
-		func(r s2db.Row) s2db.Row { r[2] = s2db.Int(r[2].I + 1); return r },
-	); err != nil {
+	if _, err := db.Exec("UPDATE orders SET quantity = ? WHERE order_id = ?",
+		s2db.Int(rows[0][1].I+1), s2db.Int(4242)); err != nil {
 		log.Fatal(err)
 	}
 
 	// OLAP: grouped aggregation over the same table, same snapshot domain.
-	rows, err := db.Query("orders").
-		Where(s2db.Gt(3, s2db.Float(10))).
-		GroupBy(1).
-		Agg(s2db.CountAll(), s2db.SumExpr(func(r s2db.Row) s2db.Value {
-			return s2db.Float(float64(r[2].I) * r[3].F)
-		})).
-		OrderBy(s2db.OrderBy{Col: 0}).
-		Rows()
+	agg, err := db.Query(
+		"SELECT category, count(*), sum(price), avg(quantity) FROM orders WHERE price > 10 GROUP BY category ORDER BY category")
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("revenue by category (price > 10):")
-	for _, r := range rows {
-		fmt.Printf("  %-10s orders=%-5d revenue=%.2f\n", r[0].S, r[1].I, r[2].F)
+	fmt.Println("by category (price > 10):")
+	for _, r := range agg {
+		fmt.Printf("  %-10s orders=%-5d revenue=%-10.2f avg qty=%.2f\n",
+			r[0].S, r[1].I, r[2].F, r[3].F)
 	}
 
-	total, _ := db.Query("orders").Count()
-	fmt.Printf("total rows: %d\n", total)
+	total, err := db.Query("SELECT count(*) FROM orders")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("total rows: %d\n", total[0][0].I)
+
+	s := db.PlanCacheStats()
+	fmt.Printf("plan cache: %d hits (%d misses) over %d templates — hit rate %.3f\n",
+		s.Hits, s.Misses, s.Entries, s.HitRate())
 }

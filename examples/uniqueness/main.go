@@ -81,12 +81,12 @@ func main() {
 
 	// Exactly one live row per event id, even though the feed repeated ids
 	// and rows migrated from the buffer into columnstore segments.
-	distinct, _ := db.Query("events").Count()
-	dupes, _ := db.Query("events").Where(s2db.Gt(3, s2db.Int(1))).Count()
+	distinct, _ := db.Table("events").Count()
+	dupes, _ := db.Table("events").Where(s2db.Gt(3, s2db.Int(1))).Count()
 	fmt.Printf("distinct events stored: %d (of %d deliveries); re-delivered ids: %d\n",
 		distinct, len(feed), dupes)
 
-	rows, err := db.Query("events").
+	rows, err := db.Table("events").
 		GroupBy(1).
 		Agg(s2db.CountAll(), s2db.SumCol(2)).
 		OrderBy(s2db.OrderBy{Col: 1, Desc: true}).

@@ -75,7 +75,7 @@ func main() {
 	if err := ws.WaitCaughtUp(5 * time.Second); err != nil {
 		log.Fatal(err)
 	}
-	n, err := db.Query("accounts").OnWorkspace(ws).Count()
+	n, err := db.Table("accounts").OnWorkspace(ws).Count()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -105,7 +105,7 @@ func main() {
 		log.Fatal(err)
 	}
 	defer restored.Close()
-	rows, err := restored.Query("accounts").Agg(s2db.CountAll(), s2db.SumCol(1)).Rows()
+	rows, err := restored.Table("accounts").Agg(s2db.CountAll(), s2db.SumCol(1)).Rows()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -114,7 +114,7 @@ func main() {
 }
 
 func mustSum(db *s2db.DB, _ interface{}) float64 {
-	rows, err := db.Query("accounts").Agg(s2db.SumCol(1)).Rows()
+	rows, err := db.Table("accounts").Agg(s2db.SumCol(1)).Rows()
 	if err != nil {
 		log.Fatal(err)
 	}

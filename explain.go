@@ -15,6 +15,20 @@ import (
 type Plan struct {
 	// Table is the queried table.
 	Table string
+	// Statement classifies the statement for SQL-text plans ("select",
+	// "insert", ...); empty for builder-API plans.
+	Statement string
+	// SQL is the normalized query template — literals stripped to binds,
+	// case and whitespace canonicalized — that keys the plan cache. Empty
+	// for builder-API plans.
+	SQL string
+	// PlanCacheHit reports whether this statement's preparation reused a
+	// cached plan (skipping lex/parse/lower). Always false when the plan
+	// cache is disabled (Config.PlanCacheEntries == 0).
+	PlanCacheHit bool
+	// PlanCache snapshots the shared plan cache's cumulative counters at
+	// explain time; all zero when the cache is disabled.
+	PlanCache PlanCacheStats
 	// Workspace names the read-only workspace serving the query; empty
 	// means the primary cluster.
 	Workspace string
@@ -101,6 +115,22 @@ func (q *Query) Explain() (Plan, error) {
 // String renders the plan for humans, one clause per line.
 func (p Plan) String() string {
 	var b strings.Builder
+	if p.SQL != "" {
+		outcome := "miss"
+		if p.PlanCacheHit {
+			outcome = "hit"
+		}
+		if p.PlanCache == (PlanCacheStats{}) {
+			outcome = "off"
+		}
+		fmt.Fprintf(&b, "sql: %s\n", p.SQL)
+		fmt.Fprintf(&b, "  plan cache: %s (%d hits / %d misses cumulative, %d templates cached)\n",
+			outcome, p.PlanCache.Hits, p.PlanCache.Misses, p.PlanCache.Entries)
+		if p.Statement != "" && p.Statement != "select" {
+			fmt.Fprintf(&b, "  %s %s\n", p.Statement, p.Table)
+			return b.String()
+		}
+	}
 	fmt.Fprintf(&b, "scan %s", p.Table)
 	if p.Workspace != "" {
 		fmt.Fprintf(&b, " on workspace %s", p.Workspace)
@@ -139,6 +169,9 @@ func (p Plan) String() string {
 		}
 		fmt.Fprintf(&b, "  vector cache [%s]: %d hits (%d from shared tier), %d misses, %d waits, %d evictions; %d column decodes\n",
 			part, s.VecCacheHits, s.VecCacheSharedHits, s.VecCacheMisses, s.VecCacheWaits, s.VecCacheEvictions, s.VecDecodes)
+	}
+	if s.PlanCacheHits+s.PlanCacheMisses > 0 {
+		fmt.Fprintf(&b, "  plan cache (last run): %d hit, %d miss\n", s.PlanCacheHits, s.PlanCacheMisses)
 	}
 	return b.String()
 }

@@ -228,6 +228,12 @@ type ScanStats struct {
 	// the cache group's shared backing tier (a subset of VecCacheHits);
 	// zero on a standalone (non-partitioned) cache.
 	VecCacheSharedHits int64
+	// PlanCacheHits/PlanCacheMisses record the SQL plan-cache outcome of
+	// the run (set only when the query arrived as SQL text): a hit reused
+	// a cached lowered plan and skipped lex/parse/lower, a miss compiled
+	// the statement from scratch. Zero for builder-API queries.
+	PlanCacheHits   int64
+	PlanCacheMisses int64
 }
 
 // Leaf is a comparison clause: col op val (with optional IN-list).

@@ -168,6 +168,8 @@ func accumulate(dst *ScanStats, src ScanStats) {
 	dst.VecCacheEvictions += src.VecCacheEvictions
 	dst.VecDecodes += src.VecDecodes
 	dst.VecCacheSharedHits += src.VecCacheSharedHits
+	dst.PlanCacheHits += src.PlanCacheHits
+	dst.PlanCacheMisses += src.PlanCacheMisses
 }
 
 // AccumulateStats merges src into dst; the fan-out coordinator uses it to

@@ -1,0 +1,225 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+
+	"s2db/internal/vector"
+)
+
+// The AST is produced by parsing the *normalized* token stream: every
+// literal has already been replaced by a bind slot, so value positions in
+// the tree are slot indexes into Normalized.Slots, never concrete values.
+// That is what makes one parsed tree reusable for every query text that
+// normalizes to the same template.
+
+// Stmt is one parsed statement: *SelectStmt, *InsertStmt, *UpdateStmt or
+// *DeleteStmt.
+type Stmt interface{ stmtNode() }
+
+// IdentRef is an identifier occurrence with its source position.
+type IdentRef struct {
+	Name string
+	Pos  Pos
+}
+
+// SelectStmt is a parsed SELECT.
+type SelectStmt struct {
+	// Star is set for SELECT *; otherwise Items lists the outputs.
+	Star  bool
+	Items []SelectItem
+	Table IdentRef
+	// Where is nil when absent.
+	Where   Expr
+	GroupBy []IdentRef
+	OrderBy []OrderItem
+	// LimitSlot is the bind slot of the LIMIT count, or -1 when absent.
+	LimitSlot int
+}
+
+func (*SelectStmt) stmtNode() {}
+
+// SelectItem is one select-list output: a plain column (Agg empty) or an
+// aggregate function application.
+type SelectItem struct {
+	// Col is the plain output column, or the aggregate argument.
+	Col IdentRef
+	// Agg names the aggregate function ("count", "sum", ...), empty for a
+	// plain column.
+	Agg string
+	// Star marks count(*).
+	Star bool
+	Pos  Pos
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Col  IdentRef
+	Desc bool
+}
+
+// Expr is a predicate tree node: *CmpExpr, *InExpr or *LogicalExpr.
+type Expr interface{ exprNode() }
+
+// CmpExpr is `col op ?`.
+type CmpExpr struct {
+	Col  IdentRef
+	Op   vector.CmpOp
+	Slot int
+}
+
+func (*CmpExpr) exprNode() {}
+
+// InExpr is `col IN (?, ...)`.
+type InExpr struct {
+	Col   IdentRef
+	Slots []int
+}
+
+func (*InExpr) exprNode() {}
+
+// LogicalExpr is an n-ary AND/OR.
+type LogicalExpr struct {
+	// Op is "and" or "or".
+	Op   string
+	Args []Expr
+}
+
+func (*LogicalExpr) exprNode() {}
+
+// InsertStmt is a parsed INSERT.
+type InsertStmt struct {
+	Table IdentRef
+	// Columns is the explicit column list, nil for schema order.
+	Columns []IdentRef
+	// Rows holds one slot-index tuple per VALUES row.
+	Rows [][]int
+	// RowPos locates each tuple's opening parenthesis for arity errors.
+	RowPos []Pos
+}
+
+func (*InsertStmt) stmtNode() {}
+
+// SetClause is one `col = ?` assignment of an UPDATE.
+type SetClause struct {
+	Col  IdentRef
+	Slot int
+}
+
+// UpdateStmt is a parsed UPDATE.
+type UpdateStmt struct {
+	Table IdentRef
+	Set   []SetClause
+	Where Expr
+}
+
+func (*UpdateStmt) stmtNode() {}
+
+// DeleteStmt is a parsed DELETE.
+type DeleteStmt struct {
+	Table IdentRef
+	Where Expr
+}
+
+func (*DeleteStmt) stmtNode() {}
+
+// Dump renders a statement as a stable multi-line tree for golden-file
+// snapshots. Slot indexes appear as ?N.
+func Dump(s Stmt) string {
+	var b strings.Builder
+	switch st := s.(type) {
+	case *SelectStmt:
+		fmt.Fprintf(&b, "select from %s\n", st.Table.Name)
+		if st.Star {
+			b.WriteString("  items: *\n")
+		} else {
+			parts := make([]string, len(st.Items))
+			for i, it := range st.Items {
+				switch {
+				case it.Agg == "":
+					parts[i] = it.Col.Name
+				case it.Star:
+					parts[i] = it.Agg + "(*)"
+				default:
+					parts[i] = fmt.Sprintf("%s(%s)", it.Agg, it.Col.Name)
+				}
+			}
+			fmt.Fprintf(&b, "  items: %s\n", strings.Join(parts, ", "))
+		}
+		if st.Where != nil {
+			fmt.Fprintf(&b, "  where: %s\n", dumpExpr(st.Where))
+		}
+		if len(st.GroupBy) > 0 {
+			names := make([]string, len(st.GroupBy))
+			for i, g := range st.GroupBy {
+				names[i] = g.Name
+			}
+			fmt.Fprintf(&b, "  group: %s\n", strings.Join(names, ", "))
+		}
+		if len(st.OrderBy) > 0 {
+			keys := make([]string, len(st.OrderBy))
+			for i, o := range st.OrderBy {
+				keys[i] = o.Col.Name
+				if o.Desc {
+					keys[i] += " desc"
+				}
+			}
+			fmt.Fprintf(&b, "  order: %s\n", strings.Join(keys, ", "))
+		}
+		if st.LimitSlot >= 0 {
+			fmt.Fprintf(&b, "  limit: ?%d\n", st.LimitSlot)
+		}
+	case *InsertStmt:
+		fmt.Fprintf(&b, "insert into %s\n", st.Table.Name)
+		if len(st.Columns) > 0 {
+			names := make([]string, len(st.Columns))
+			for i, c := range st.Columns {
+				names[i] = c.Name
+			}
+			fmt.Fprintf(&b, "  columns: %s\n", strings.Join(names, ", "))
+		}
+		for _, row := range st.Rows {
+			fmt.Fprintf(&b, "  row: %s\n", dumpSlots(row))
+		}
+	case *UpdateStmt:
+		fmt.Fprintf(&b, "update %s\n", st.Table.Name)
+		for _, sc := range st.Set {
+			fmt.Fprintf(&b, "  set: %s = ?%d\n", sc.Col.Name, sc.Slot)
+		}
+		if st.Where != nil {
+			fmt.Fprintf(&b, "  where: %s\n", dumpExpr(st.Where))
+		}
+	case *DeleteStmt:
+		fmt.Fprintf(&b, "delete from %s\n", st.Table.Name)
+		if st.Where != nil {
+			fmt.Fprintf(&b, "  where: %s\n", dumpExpr(st.Where))
+		}
+	default:
+		fmt.Fprintf(&b, "%T\n", s)
+	}
+	return b.String()
+}
+
+func dumpExpr(e Expr) string {
+	switch x := e.(type) {
+	case *CmpExpr:
+		return fmt.Sprintf("%s %s ?%d", x.Col.Name, x.Op, x.Slot)
+	case *InExpr:
+		return fmt.Sprintf("%s in (%s)", x.Col.Name, dumpSlots(x.Slots))
+	case *LogicalExpr:
+		parts := make([]string, len(x.Args))
+		for i, a := range x.Args {
+			parts[i] = dumpExpr(a)
+		}
+		return "(" + strings.Join(parts, " "+x.Op+" ") + ")"
+	}
+	return fmt.Sprintf("%T", e)
+}
+
+func dumpSlots(slots []int) string {
+	parts := make([]string, len(slots))
+	for i, s := range slots {
+		parts[i] = fmt.Sprintf("?%d", s)
+	}
+	return strings.Join(parts, ", ")
+}

@@ -1,0 +1,217 @@
+package sql
+
+import (
+	"container/list"
+	"sync"
+
+	"s2db/internal/types"
+)
+
+// Cache is the shared, size-bounded plan cache. It has two tiers:
+//
+//   - an exact-text tier mapping raw query bytes to (statement, bind
+//     slots): a hit here skips lexing entirely — the common case for a
+//     serving tier re-issuing identical parameterized text;
+//   - a template tier keyed by the normalized template: a hit skips
+//     parse + lower (the text still lexes once to extract its literals,
+//     which become this call's binds).
+//
+// Both tiers are LRU with the same entry bound; cached Statements are
+// immutable and shared across goroutines. Prepared is the result of a
+// lookup: everything needed to bind and execute.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int
+	byText   map[string]*list.Element
+	byTpl    map[string]*list.Element
+	textLRU  *list.List // of *textEntry
+	tplLRU   *list.List // of *tplEntry
+
+	hits      int64 // total hits (text + template tier)
+	textHits  int64 // subset of hits served by the exact-text tier
+	misses    int64 // full lex+parse+lower compilations
+	evictions int64
+}
+
+type textEntry struct {
+	key       string
+	tpl       string // template key, so a text hit refreshes tpl recency too
+	stmt      *Statement
+	slots     []Slot
+	userBinds int
+}
+
+type tplEntry struct {
+	key  string
+	stmt *Statement
+}
+
+// CacheStats snapshots the plan cache counters. Hits counts lookups that
+// reused a cached plan (TextHits of which also skipped lexing); Misses
+// counts full compilations. Entries and TextEntries report current
+// occupancy of the two tiers.
+type CacheStats struct {
+	Hits        int64
+	TextHits    int64
+	Misses      int64
+	Evictions   int64
+	Entries     int
+	TextEntries int
+}
+
+// HitRate reports hits / (hits + misses).
+func (s CacheStats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// NewCache returns a plan cache bounded to the given number of entries
+// per tier. entries <= 0 returns nil — the disabled (parse-every-time)
+// configuration, which every method tolerates.
+func NewCache(entries int) *Cache {
+	if entries <= 0 {
+		return nil
+	}
+	return &Cache{
+		capacity: entries,
+		byText:   make(map[string]*list.Element),
+		byTpl:    make(map[string]*list.Element),
+		textLRU:  list.New(),
+		tplLRU:   list.New(),
+	}
+}
+
+// Prepared is a ready-to-bind statement: the cached (or freshly compiled)
+// plan, this call's bind-slot table, and whether the plan came from the
+// cache.
+type Prepared struct {
+	Stmt      *Statement
+	Slots     []Slot
+	UserBinds int
+	// Hit reports whether the plan was served from the cache (either
+	// tier); a miss paid lex+parse+lower.
+	Hit bool
+}
+
+// Compile lexes, parses and lowers text with no cache involvement.
+func Compile(text string) (*Prepared, error) {
+	st, n, err := Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	stmt, err := Lower(st, n)
+	if err != nil {
+		return nil, err
+	}
+	return &Prepared{Stmt: stmt, Slots: n.Slots, UserBinds: n.UserBinds}, nil
+}
+
+// Prepare resolves text to an executable statement through the cache: the
+// exact-text tier first, then the template tier, compiling on a full miss.
+// A nil receiver compiles every time (the disabled configuration).
+func (c *Cache) Prepare(text string) (*Prepared, error) {
+	if c == nil {
+		return Compile(text)
+	}
+	c.mu.Lock()
+	if el, ok := c.byText[text]; ok {
+		c.textLRU.MoveToFront(el)
+		e := el.Value.(*textEntry)
+		// Keep the template entry hot too: the text alias may outlive it in
+		// LRU order otherwise, evicting the plan other texts still share.
+		if tl, ok := c.byTpl[e.tpl]; ok {
+			c.tplLRU.MoveToFront(tl)
+		}
+		c.hits++
+		c.textHits++
+		c.mu.Unlock()
+		return &Prepared{Stmt: e.stmt, Slots: e.slots, UserBinds: e.userBinds, Hit: true}, nil
+	}
+	c.mu.Unlock()
+
+	// Lex outside the lock: normalization yields the template key and this
+	// text's literal binds.
+	n, err := Normalize(text)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	if el, ok := c.byTpl[n.Template]; ok {
+		c.tplLRU.MoveToFront(el)
+		stmt := el.Value.(*tplEntry).stmt
+		c.hits++
+		c.addTextLocked(text, n.Template, stmt, n.Slots, n.UserBinds)
+		c.mu.Unlock()
+		return &Prepared{Stmt: stmt, Slots: n.Slots, UserBinds: n.UserBinds, Hit: true}, nil
+	}
+	c.mu.Unlock()
+
+	// Full miss: parse + lower outside the lock. Concurrent misses on the
+	// same template may both compile; the last Insert wins, which is
+	// harmless (statements are immutable and equivalent).
+	st, err := ParseTokens(n.Toks)
+	if err != nil {
+		return nil, err
+	}
+	stmt, err := Lower(st, n)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.misses++
+	if el, ok := c.byTpl[n.Template]; ok {
+		c.tplLRU.MoveToFront(el)
+		el.Value.(*tplEntry).stmt = stmt
+	} else {
+		c.byTpl[n.Template] = c.tplLRU.PushFront(&tplEntry{key: n.Template, stmt: stmt})
+		for c.tplLRU.Len() > c.capacity {
+			old := c.tplLRU.Back()
+			c.tplLRU.Remove(old)
+			delete(c.byTpl, old.Value.(*tplEntry).key)
+			c.evictions++
+		}
+	}
+	c.addTextLocked(text, n.Template, stmt, n.Slots, n.UserBinds)
+	c.mu.Unlock()
+	return &Prepared{Stmt: stmt, Slots: n.Slots, UserBinds: n.UserBinds}, nil
+}
+
+// addTextLocked installs an exact-text alias (c.mu held).
+func (c *Cache) addTextLocked(text, tpl string, stmt *Statement, slots []Slot, userBinds int) {
+	if el, ok := c.byText[text]; ok {
+		c.textLRU.MoveToFront(el)
+		return
+	}
+	c.byText[text] = c.textLRU.PushFront(&textEntry{key: text, tpl: tpl, stmt: stmt, slots: slots, userBinds: userBinds})
+	for c.textLRU.Len() > c.capacity {
+		old := c.textLRU.Back()
+		c.textLRU.Remove(old)
+		delete(c.byText, old.Value.(*textEntry).key)
+		c.evictions++
+	}
+}
+
+// Stats snapshots the cache counters; all zero for a nil (disabled) cache.
+func (c *Cache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:        c.hits,
+		TextHits:    c.textHits,
+		Misses:      c.misses,
+		Evictions:   c.evictions,
+		Entries:     c.tplLRU.Len(),
+		TextEntries: c.textLRU.Len(),
+	}
+}
+
+// Bind validates the caller's arguments against the prepared statement and
+// returns the full slot-value vector.
+func (p *Prepared) Bind(args []types.Value) ([]types.Value, error) {
+	return BindValues(p.Slots, p.UserBinds, args)
+}

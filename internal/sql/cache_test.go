@@ -1,0 +1,203 @@
+package sql
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"s2db/internal/types"
+)
+
+func bindArgs(vs ...int64) []types.Value {
+	out := make([]types.Value, len(vs))
+	for i, v := range vs {
+		out[i] = types.NewInt(v)
+	}
+	return out
+}
+
+func TestCacheTwoTiers(t *testing.T) {
+	c := NewCache(8)
+
+	// Cold: full compile.
+	p, err := c.Prepare("SELECT * FROM t WHERE a = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Hit {
+		t.Fatal("first Prepare reported a hit")
+	}
+
+	// Identical text: exact-text tier.
+	p2, err := c.Prepare("SELECT * FROM t WHERE a = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p2.Hit {
+		t.Fatal("identical text missed")
+	}
+	if p2.Stmt != p.Stmt {
+		t.Fatal("text-tier hit returned a different statement")
+	}
+
+	// Different literal, same template: template tier (not text tier), and
+	// the slot table carries the new literal.
+	p3, err := c.Prepare("SELECT * FROM t WHERE a = 42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p3.Hit {
+		t.Fatal("same-template text missed")
+	}
+	if p3.Stmt != p.Stmt {
+		t.Fatal("template-tier hit returned a different statement")
+	}
+	vals, err := p3.Bind(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 1 || vals[0].I != 42 {
+		t.Fatalf("template-tier hit bound wrong literal: %+v", vals)
+	}
+
+	// Case/whitespace variations normalize to the same template.
+	p4, err := c.Prepare("select  *  from t where a=99")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p4.Hit || p4.Stmt != p.Stmt {
+		t.Fatal("whitespace/case variant did not share the cached plan")
+	}
+
+	s := c.Stats()
+	if s.Misses != 1 {
+		t.Fatalf("misses = %d, want 1", s.Misses)
+	}
+	if s.Hits != 3 || s.TextHits != 1 {
+		t.Fatalf("hits = %d (text %d), want 3 (text 1)", s.Hits, s.TextHits)
+	}
+	if s.Entries != 1 {
+		t.Fatalf("template entries = %d, want 1", s.Entries)
+	}
+	// Each distinct text left an exact-text alias behind.
+	if s.TextEntries != 3 {
+		t.Fatalf("text entries = %d, want 3", s.TextEntries)
+	}
+	if got := s.HitRate(); got != 0.75 {
+		t.Fatalf("hit rate = %v, want 0.75", got)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	const capacity = 4
+	c := NewCache(capacity)
+	// 3*capacity distinct templates: both tiers must stay bounded.
+	for i := 0; i < 3*capacity; i++ {
+		if _, err := c.Prepare(fmt.Sprintf("SELECT * FROM t%d WHERE a = 1", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := c.Stats()
+	if s.Entries != capacity || s.TextEntries != capacity {
+		t.Fatalf("entries = %d/%d, want both bounded to %d", s.Entries, s.TextEntries, capacity)
+	}
+	if s.Evictions == 0 {
+		t.Fatal("expected evictions")
+	}
+
+	// The most recent template survived; the oldest was evicted.
+	p, err := c.Prepare(fmt.Sprintf("SELECT * FROM t%d WHERE a = 1", 3*capacity-1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Hit {
+		t.Fatal("most-recent entry was evicted")
+	}
+	p, err = c.Prepare("SELECT * FROM t0 WHERE a = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Hit {
+		t.Fatal("oldest entry survived a full wrap of the LRU")
+	}
+}
+
+func TestCacheLRUTouchOnHit(t *testing.T) {
+	c := NewCache(2)
+	mustPrepare := func(q string) *Prepared {
+		t.Helper()
+		p, err := c.Prepare(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	mustPrepare("SELECT * FROM a")
+	mustPrepare("SELECT * FROM b")
+	mustPrepare("SELECT * FROM a") // touch a → b is now LRU
+	mustPrepare("SELECT * FROM c") // evicts b
+	if !mustPrepare("SELECT * FROM a").Hit {
+		t.Fatal("recently-touched entry was evicted")
+	}
+	if mustPrepare("SELECT * FROM b").Hit {
+		t.Fatal("least-recently-used entry survived")
+	}
+}
+
+func TestNilCacheCompilesEveryTime(t *testing.T) {
+	var c *Cache // the PlanCacheEntries=0 configuration
+	for i := 0; i < 2; i++ {
+		p, err := c.Prepare("SELECT * FROM t WHERE a = 1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Hit {
+			t.Fatal("disabled cache reported a hit")
+		}
+	}
+	if s := c.Stats(); s != (CacheStats{}) {
+		t.Fatalf("disabled cache has non-zero stats: %+v", s)
+	}
+	if NewCache(0) != nil || NewCache(-1) != nil {
+		t.Fatal("NewCache(<=0) must return the disabled cache")
+	}
+}
+
+// TestCacheConcurrent hammers one cache from many goroutines mixing text
+// hits, template hits and cold misses; run under -race this checks the
+// locking discipline and that shared statements are safe to reuse.
+func TestCacheConcurrent(t *testing.T) {
+	c := NewCache(16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				q := fmt.Sprintf("SELECT * FROM t WHERE a = %d AND b = ?", i%5)
+				p, err := c.Prepare(q)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				vals, err := p.Bind(bindArgs(int64(g)))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if len(vals) != 2 {
+					t.Errorf("bound %d values, want 2", len(vals))
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := c.Stats()
+	if s.Hits == 0 {
+		t.Fatal("no cache hits under concurrency")
+	}
+	if s.Entries > 16 || s.TextEntries > 16 {
+		t.Fatalf("tier bounds exceeded: %d/%d", s.Entries, s.TextEntries)
+	}
+}

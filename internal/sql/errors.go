@@ -1,0 +1,62 @@
+package sql
+
+import "fmt"
+
+// ParseError is a lexing or parsing failure, carrying the position
+// (line:column in the original text) and the offending token.
+type ParseError struct {
+	// Pos locates the offending token in the original query text.
+	Pos Pos
+	// Token is the offending token's spelling ("" at end of input).
+	Token string
+	// Msg describes the failure.
+	Msg string
+}
+
+// Error renders "sql: <msg> at <line>:<col> (near <token>)".
+func (e *ParseError) Error() string {
+	near := ""
+	if e.Token != "" {
+		near = fmt.Sprintf(" (near %q)", e.Token)
+	}
+	return fmt.Sprintf("sql: %s at %s%s", e.Msg, e.Pos, near)
+}
+
+func lexError(pos Pos, tok, format string, args ...any) error {
+	return &ParseError{Pos: pos, Token: tok, Msg: fmt.Sprintf(format, args...)}
+}
+
+func parseError(t Token, format string, args ...any) error {
+	return &ParseError{Pos: t.Pos, Token: t.Text, Msg: fmt.Sprintf(format, args...)}
+}
+
+// ColumnError decorates a column-resolution failure (an unknown column, a
+// type mismatch) with the identifier's position in the query text, so
+// lowering errors point back at the SQL the caller wrote rather than at
+// the execution layer that detected them.
+type ColumnError struct {
+	// Name is the offending column identifier.
+	Name string
+	// Pos locates the identifier in the original query text; the zero Pos
+	// means the position could not be recovered.
+	Pos Pos
+	// Err is the underlying resolution error.
+	Err error
+}
+
+// Error renders the underlying error with the position prefix.
+func (e *ColumnError) Error() string {
+	if e.Pos == (Pos{}) {
+		return fmt.Sprintf("sql: column %q: %v", e.Name, e.Err)
+	}
+	return fmt.Sprintf("sql: column %q at %s: %v", e.Name, e.Pos, e.Err)
+}
+
+// Unwrap exposes the underlying error to errors.Is/As.
+func (e *ColumnError) Unwrap() error { return e.Err }
+
+// columnError annotates err with the position of name in text (best
+// effort: the text is re-lexed only on this error path).
+func columnError(text, name string, err error) error {
+	return &ColumnError{Name: name, Pos: FindIdent(text, name), Err: err}
+}

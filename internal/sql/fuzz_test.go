@@ -1,0 +1,71 @@
+package sql
+
+import "testing"
+
+// fuzzSeeds feeds both targets the full golden corpus plus inputs chosen
+// to stress lexer/parser edges: escapes, exponents, unary minus, deep
+// nesting, unicode, NULs.
+func fuzzSeeds(f *testing.F) {
+	for _, q := range loadQueries(f) {
+		f.Add(q)
+	}
+	for _, q := range []string{
+		"", " ", ";", "?", "''", "'''", "'''' ''",
+		"-", "--", "- 1", "-.", "-1.5e-3", "1e", "1e+", ".5", "1.", "0x10",
+		"select(((((", "select ))))",
+		"select * from t where a in ()",
+		"select * from t where a in (1",
+		"select * from t where ((((a = 1))))",
+		"insert into t values",
+		"insert into t (a,) values (1)",
+		"update t set",
+		"delete from",
+		"select count ( * ) from t",
+		"select * from t where a = 'µ' and b = '\x00'",
+		"SELECT\n*\nFROM\nt\nWHERE\na\n=\n1",
+		"select * from t where a <> 1 and a <= 2 and a >= 3 and a != 4",
+	} {
+		f.Add(q)
+	}
+}
+
+// FuzzParse asserts the parser's total-function contract: any input either
+// parses or returns an error — it never panics — and a successful parse
+// lowers without panicking too.
+func FuzzParse(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, text string) {
+		st, n, err := Parse(text)
+		if err != nil {
+			return
+		}
+		if st == nil || n == nil {
+			t.Fatalf("nil statement/normalization without error for %q", text)
+		}
+		// Lowering shares the never-panics contract (validation errors are
+		// fine; crashes are not).
+		_, _ = Lower(st, n)
+	})
+}
+
+// FuzzNormalize asserts that normalization is idempotent on anything that
+// lexes: the template of a template is itself, with no literals left.
+func FuzzNormalize(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, text string) {
+		n, err := Normalize(text)
+		if err != nil {
+			return
+		}
+		n2, err := Normalize(n.Template)
+		if err != nil {
+			t.Fatalf("template %q of input %q fails to re-normalize: %v", n.Template, text, err)
+		}
+		if n2.Template != n.Template {
+			t.Fatalf("normalize not idempotent for %q:\n first: %q\nsecond: %q", text, n.Template, n2.Template)
+		}
+		if n2.UserBinds != len(n2.Slots) {
+			t.Fatalf("template %q of input %q still carries literals", n.Template, text)
+		}
+	})
+}

@@ -1,0 +1,260 @@
+package sql
+
+import (
+	"strings"
+)
+
+// Lex tokenizes SQL text, attaching original-text positions to every
+// token. It never panics: malformed input returns a *ParseError. The
+// appended TokEOF carries the position just past the last character.
+//
+// Unary minus is folded into numeric literals when the previous
+// significant token cannot end an expression (the grammar has no
+// arithmetic, so a `-` elsewhere is an error surfaced by the parser).
+func Lex(text string) ([]Token, error) {
+	lx := lexer{src: text, line: 1, col: 1}
+	return lx.run()
+}
+
+type lexer struct {
+	src  string
+	i    int
+	line int
+	col  int
+	toks []Token
+}
+
+func (lx *lexer) pos() Pos { return Pos{Line: lx.line, Col: lx.col} }
+
+// advance consumes n bytes, tracking line/column.
+func (lx *lexer) advance(n int) {
+	for k := 0; k < n; k++ {
+		if lx.src[lx.i] == '\n' {
+			lx.line++
+			lx.col = 1
+		} else {
+			lx.col++
+		}
+		lx.i++
+	}
+}
+
+func (lx *lexer) emit(kind TokKind, text string, pos Pos) {
+	lx.toks = append(lx.toks, Token{Kind: kind, Text: text, Pos: pos})
+}
+
+// valueMayFollow reports whether the last emitted token puts the lexer in
+// a position where a value (and hence a signed numeric literal) can start:
+// after an operator, comma, opening paren, or most keywords — but not
+// after an identifier, literal, bind or closing paren, where `-` would be
+// a binary operator (unsupported, left for the parser to reject).
+func (lx *lexer) valueMayFollow() bool {
+	if len(lx.toks) == 0 {
+		return false
+	}
+	switch t := lx.toks[len(lx.toks)-1]; t.Kind {
+	case TokOp, TokComma, TokLParen, TokKeyword:
+		return true
+	default:
+		return false
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool { return isIdentStart(c) || (c >= '0' && c <= '9') }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func (lx *lexer) run() ([]Token, error) {
+	src := lx.src
+	for lx.i < len(src) {
+		c := src[lx.i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			lx.advance(1)
+		case isIdentStart(c):
+			lx.lexWord()
+		case isDigit(c):
+			if err := lx.lexNumber(lx.pos(), false); err != nil {
+				return nil, err
+			}
+		case c == '-':
+			pos := lx.pos()
+			if lx.valueMayFollow() && lx.i+1 < len(src) && isDigit(src[lx.i+1]) {
+				lx.advance(1) // the sign
+				if err := lx.lexNumber(pos, true); err != nil {
+					return nil, err
+				}
+				break
+			}
+			return nil, lexError(pos, "-", "unexpected '-' (arithmetic expressions are not supported)")
+		case c == '\'':
+			if err := lx.lexString(); err != nil {
+				return nil, err
+			}
+		case c == '?':
+			lx.emit(TokBind, "?", lx.pos())
+			lx.advance(1)
+		case c == '(':
+			lx.emit(TokLParen, "(", lx.pos())
+			lx.advance(1)
+		case c == ')':
+			lx.emit(TokRParen, ")", lx.pos())
+			lx.advance(1)
+		case c == ',':
+			lx.emit(TokComma, ",", lx.pos())
+			lx.advance(1)
+		case c == '*':
+			lx.emit(TokStar, "*", lx.pos())
+			lx.advance(1)
+		case c == '=':
+			lx.emit(TokOp, "=", lx.pos())
+			lx.advance(1)
+		case c == '!':
+			pos := lx.pos()
+			if lx.i+1 < len(src) && src[lx.i+1] == '=' {
+				lx.emit(TokOp, "!=", pos)
+				lx.advance(2)
+				break
+			}
+			return nil, lexError(pos, "!", "expected != after !")
+		case c == '<':
+			pos := lx.pos()
+			switch {
+			case lx.i+1 < len(src) && src[lx.i+1] == '=':
+				lx.emit(TokOp, "<=", pos)
+				lx.advance(2)
+			case lx.i+1 < len(src) && src[lx.i+1] == '>':
+				lx.emit(TokOp, "!=", pos) // <> canonicalizes to !=
+				lx.advance(2)
+			default:
+				lx.emit(TokOp, "<", pos)
+				lx.advance(1)
+			}
+		case c == '>':
+			pos := lx.pos()
+			if lx.i+1 < len(src) && src[lx.i+1] == '=' {
+				lx.emit(TokOp, ">=", pos)
+				lx.advance(2)
+				break
+			}
+			lx.emit(TokOp, ">", pos)
+			lx.advance(1)
+		case c == ';':
+			// A single trailing semicolon is tolerated; anything after it is
+			// rejected by the parser seeing a stray token.
+			lx.advance(1)
+			for lx.i < len(src) {
+				s := src[lx.i]
+				if s != ' ' && s != '\t' && s != '\n' && s != '\r' {
+					return nil, lexError(lx.pos(), string(s), "text after statement terminator")
+				}
+				lx.advance(1)
+			}
+		default:
+			return nil, lexError(lx.pos(), string(c), "unexpected character %q", c)
+		}
+	}
+	lx.emit(TokEOF, "", lx.pos())
+	return lx.toks, nil
+}
+
+// lexWord consumes an identifier or keyword. Keywords are recognized
+// case-insensitively and canonicalized to lowercase; identifier spelling
+// is preserved (schema column names are case-sensitive).
+func (lx *lexer) lexWord() {
+	pos := lx.pos()
+	start := lx.i
+	for lx.i < len(lx.src) && isIdentPart(lx.src[lx.i]) {
+		lx.advance(1)
+	}
+	word := lx.src[start:lx.i]
+	if lower := strings.ToLower(word); keywords[lower] {
+		lx.emit(TokKeyword, lower, pos)
+		return
+	}
+	lx.emit(TokIdent, word, pos)
+}
+
+// lexNumber consumes an integer or float literal; the sign, when present,
+// has already been consumed and is re-attached to the token text.
+func (lx *lexer) lexNumber(pos Pos, neg bool) error {
+	start := lx.i
+	kind := TokInt
+	for lx.i < len(lx.src) && isDigit(lx.src[lx.i]) {
+		lx.advance(1)
+	}
+	if lx.i < len(lx.src) && lx.src[lx.i] == '.' {
+		kind = TokFloat
+		lx.advance(1)
+		for lx.i < len(lx.src) && isDigit(lx.src[lx.i]) {
+			lx.advance(1)
+		}
+	}
+	if lx.i < len(lx.src) && (lx.src[lx.i] == 'e' || lx.src[lx.i] == 'E') {
+		j := lx.i + 1
+		if j < len(lx.src) && (lx.src[j] == '+' || lx.src[j] == '-') {
+			j++
+		}
+		if j < len(lx.src) && isDigit(lx.src[j]) {
+			kind = TokFloat
+			lx.advance(j - lx.i)
+			for lx.i < len(lx.src) && isDigit(lx.src[lx.i]) {
+				lx.advance(1)
+			}
+		}
+	}
+	if lx.i < len(lx.src) && isIdentStart(lx.src[lx.i]) {
+		return lexError(lx.pos(), string(lx.src[lx.i]), "malformed number")
+	}
+	text := lx.src[start:lx.i]
+	if neg {
+		text = "-" + text
+	}
+	lx.emit(kind, text, pos)
+	return nil
+}
+
+// lexString consumes a single-quoted string; ” inside escapes a quote.
+// The token text is the decoded value.
+func (lx *lexer) lexString() error {
+	pos := lx.pos()
+	lx.advance(1) // opening quote
+	var b strings.Builder
+	for lx.i < len(lx.src) {
+		c := lx.src[lx.i]
+		if c == '\'' {
+			if lx.i+1 < len(lx.src) && lx.src[lx.i+1] == '\'' {
+				b.WriteByte('\'')
+				lx.advance(2)
+				continue
+			}
+			lx.advance(1)
+			lx.emit(TokString, b.String(), pos)
+			return nil
+		}
+		b.WriteByte(c)
+		lx.advance(1)
+	}
+	return lexError(pos, "'", "unterminated string literal")
+}
+
+// FindIdent re-lexes text and returns the position of the first token
+// spelled exactly name, for annotating late (execution-time) column errors
+// with the identifier's location in the text the caller actually sent.
+// The zero Pos is returned when the name does not appear.
+func FindIdent(text, name string) Pos {
+	toks, err := Lex(text)
+	if err != nil {
+		return Pos{}
+	}
+	for _, t := range toks {
+		if t.Kind == TokIdent && t.Text == name {
+			return t.Pos
+		}
+	}
+	return Pos{}
+}

@@ -1,0 +1,109 @@
+package sql
+
+import (
+	"strconv"
+	"strings"
+
+	"s2db/internal/types"
+)
+
+// Slot describes where one bind position of a normalized query takes its
+// value from: a literal extracted by normalization, or the caller's bind
+// arguments (`?` placeholders), in original token order.
+type Slot struct {
+	// Lit is the extracted literal value when IsLit is set.
+	Lit   types.Value
+	IsLit bool
+	// Arg is the 0-based index into the caller's bind arguments when the
+	// slot came from a `?` placeholder.
+	Arg int
+}
+
+// Normalized is the result of normalizing one query text: the canonical
+// template that keys the plan cache, the normalized token stream (literals
+// replaced by binds, original positions preserved) the parser consumes on
+// a cache miss, and the bind-slot table mapping template binds back to
+// extracted literals or caller arguments.
+type Normalized struct {
+	// Template is the canonical form: keywords lowercased, whitespace
+	// collapsed, <> rewritten to !=, every literal replaced by `?`. Two
+	// texts with the same template share one cached plan.
+	Template string
+	// Toks is the normalized token stream ending in TokEOF.
+	Toks []Token
+	// Slots maps each `?` of the template, in order, to its value source.
+	Slots []Slot
+	// UserBinds counts the `?` placeholders the caller must supply.
+	UserBinds int
+}
+
+// Normalize lexes text and strips literals into bind slots, producing the
+// template that keys the plan cache. Normalization is idempotent: the
+// template of a template is itself (it contains no literals to strip).
+func Normalize(text string) (*Normalized, error) {
+	toks, err := Lex(text)
+	if err != nil {
+		return nil, err
+	}
+	n := &Normalized{Toks: make([]Token, 0, len(toks))}
+	for _, t := range toks {
+		switch t.Kind {
+		case TokInt:
+			v, err := strconv.ParseInt(t.Text, 10, 64)
+			if err != nil {
+				return nil, parseError(t, "integer literal out of range")
+			}
+			n.Slots = append(n.Slots, Slot{Lit: types.NewInt(v), IsLit: true})
+			n.Toks = append(n.Toks, Token{Kind: TokBind, Text: t.Text, Pos: t.Pos})
+		case TokFloat:
+			v, err := strconv.ParseFloat(t.Text, 64)
+			if err != nil {
+				return nil, parseError(t, "malformed numeric literal")
+			}
+			n.Slots = append(n.Slots, Slot{Lit: types.NewFloat(v), IsLit: true})
+			n.Toks = append(n.Toks, Token{Kind: TokBind, Text: t.Text, Pos: t.Pos})
+		case TokString:
+			n.Slots = append(n.Slots, Slot{Lit: types.NewString(t.Text), IsLit: true})
+			n.Toks = append(n.Toks, Token{Kind: TokBind, Text: t.Text, Pos: t.Pos})
+		case TokBind:
+			n.Slots = append(n.Slots, Slot{Arg: n.UserBinds})
+			n.UserBinds++
+			n.Toks = append(n.Toks, t)
+		default:
+			n.Toks = append(n.Toks, t)
+		}
+	}
+	n.Template = renderTemplate(n.Toks)
+	return n, nil
+}
+
+// renderTemplate prints the normalized token stream canonically: tokens
+// separated by single spaces, except no space after '(', before ')' or
+// ',', or between an aggregate function and its '(' — so templates read
+// count(*), not count (*). Bind tokens always render as `?` regardless of
+// the literal text they carry for error messages. Re-lexing a template
+// reproduces the same token kinds and spellings, which makes Normalize
+// idempotent.
+func renderTemplate(toks []Token) string {
+	var b strings.Builder
+	prev := TokEOF
+	prevAgg := false
+	for _, t := range toks {
+		if t.Kind == TokEOF {
+			break
+		}
+		tight := prev == TokLParen || t.Kind == TokRParen || t.Kind == TokComma ||
+			(t.Kind == TokLParen && prevAgg)
+		if b.Len() > 0 && !tight {
+			b.WriteByte(' ')
+		}
+		if t.Kind == TokBind {
+			b.WriteByte('?')
+		} else {
+			b.WriteString(t.Text)
+		}
+		prev = t.Kind
+		prevAgg = t.Kind == TokKeyword && aggFuncs[t.Text]
+	}
+	return b.String()
+}

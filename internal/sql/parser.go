@@ -1,0 +1,441 @@
+package sql
+
+import (
+	"s2db/internal/vector"
+)
+
+// Parse normalizes text and parses the normalized token stream, returning
+// the AST together with the normalization result (template + bind slots).
+// All value positions in the AST are bind-slot indexes.
+func Parse(text string) (Stmt, *Normalized, error) {
+	n, err := Normalize(text)
+	if err != nil {
+		return nil, nil, err
+	}
+	st, err := ParseTokens(n.Toks)
+	if err != nil {
+		return nil, nil, err
+	}
+	return st, n, nil
+}
+
+// ParseTokens parses a normalized token stream (as produced by Normalize;
+// every literal already a bind). It never panics on any input.
+func ParseTokens(toks []Token) (Stmt, error) {
+	p := &parser{toks: toks}
+	st, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	if t := p.peek(); t.Kind != TokEOF {
+		return nil, parseError(t, "unexpected trailing input")
+	}
+	return st, nil
+}
+
+type parser struct {
+	toks []Token
+	i    int
+	// bind numbers the TokBind tokens in consumption order, which matches
+	// normalization's slot order.
+	bind int
+}
+
+func (p *parser) peek() Token { return p.toks[p.i] }
+
+func (p *parser) next() Token {
+	t := p.toks[p.i]
+	if t.Kind != TokEOF {
+		p.i++
+	}
+	return t
+}
+
+// keyword consumes kw if it is next, reporting whether it did.
+func (p *parser) keyword(kw string) bool {
+	if t := p.peek(); t.Kind == TokKeyword && t.Text == kw {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.keyword(kw) {
+		return parseError(p.peek(), "expected %s", kw)
+	}
+	return nil
+}
+
+func (p *parser) expect(kind TokKind, what string) (Token, error) {
+	if t := p.peek(); t.Kind == kind {
+		return p.next(), nil
+	}
+	return Token{}, parseError(p.peek(), "expected %s", what)
+}
+
+func (p *parser) ident(what string) (IdentRef, error) {
+	t, err := p.expect(TokIdent, what)
+	if err != nil {
+		return IdentRef{}, err
+	}
+	return IdentRef{Name: t.Text, Pos: t.Pos}, nil
+}
+
+// bindSlot consumes a `?` and returns its slot index.
+func (p *parser) bindSlot() (int, error) {
+	if _, err := p.expect(TokBind, "a value"); err != nil {
+		return 0, err
+	}
+	s := p.bind
+	p.bind++
+	return s, nil
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	t := p.peek()
+	if t.Kind != TokKeyword {
+		return nil, parseError(t, "expected select, insert, update or delete")
+	}
+	switch t.Text {
+	case "select":
+		return p.parseSelect()
+	case "insert":
+		return p.parseInsert()
+	case "update":
+		return p.parseUpdate()
+	case "delete":
+		return p.parseDelete()
+	}
+	return nil, parseError(t, "expected select, insert, update or delete")
+}
+
+func (p *parser) parseSelect() (Stmt, error) {
+	p.next() // select
+	st := &SelectStmt{LimitSlot: -1}
+	if t := p.peek(); t.Kind == TokStar {
+		p.next()
+		st.Star = true
+	} else {
+		for {
+			item, err := p.parseSelectItem()
+			if err != nil {
+				return nil, err
+			}
+			st.Items = append(st.Items, item)
+			if p.peek().Kind != TokComma {
+				break
+			}
+			p.next()
+		}
+	}
+	if err := p.expectKeyword("from"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident("a table name")
+	if err != nil {
+		return nil, err
+	}
+	st.Table = table
+	if p.keyword("where") {
+		if st.Where, err = p.parseOr(); err != nil {
+			return nil, err
+		}
+	}
+	if p.keyword("group") {
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		for {
+			col, err := p.ident("a group-by column")
+			if err != nil {
+				return nil, err
+			}
+			st.GroupBy = append(st.GroupBy, col)
+			if p.peek().Kind != TokComma {
+				break
+			}
+			p.next()
+		}
+	}
+	if p.keyword("order") {
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		for {
+			col, err := p.ident("an order-by column")
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Col: col}
+			if p.keyword("desc") {
+				item.Desc = true
+			} else {
+				p.keyword("asc")
+			}
+			st.OrderBy = append(st.OrderBy, item)
+			if p.peek().Kind != TokComma {
+				break
+			}
+			p.next()
+		}
+	}
+	if p.keyword("limit") {
+		if st.LimitSlot, err = p.bindSlot(); err != nil {
+			return nil, err
+		}
+	}
+	return st, nil
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	t := p.peek()
+	if t.Kind == TokKeyword && aggFuncs[t.Text] {
+		p.next()
+		item := SelectItem{Agg: t.Text, Pos: t.Pos}
+		if _, err := p.expect(TokLParen, "("); err != nil {
+			return SelectItem{}, err
+		}
+		if s := p.peek(); s.Kind == TokStar {
+			if item.Agg != "count" {
+				return SelectItem{}, parseError(s, "%s(*) is not supported (only count(*))", item.Agg)
+			}
+			p.next()
+			item.Star = true
+		} else {
+			col, err := p.ident("an aggregate column")
+			if err != nil {
+				return SelectItem{}, err
+			}
+			item.Col = col
+		}
+		if _, err := p.expect(TokRParen, ")"); err != nil {
+			return SelectItem{}, err
+		}
+		return item, nil
+	}
+	col, err := p.ident("a column or aggregate")
+	if err != nil {
+		return SelectItem{}, err
+	}
+	return SelectItem{Col: col, Pos: col.Pos}, nil
+}
+
+// parseOr parses an OR-disjunction of AND-conjunctions.
+func (p *parser) parseOr() (Expr, error) {
+	first, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	args := []Expr{first}
+	for p.keyword("or") {
+		e, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, e)
+	}
+	if len(args) == 1 {
+		return first, nil
+	}
+	return &LogicalExpr{Op: "or", Args: args}, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	first, err := p.parsePredicate()
+	if err != nil {
+		return nil, err
+	}
+	args := []Expr{first}
+	for p.keyword("and") {
+		e, err := p.parsePredicate()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, e)
+	}
+	if len(args) == 1 {
+		return first, nil
+	}
+	return &LogicalExpr{Op: "and", Args: args}, nil
+}
+
+func (p *parser) parsePredicate() (Expr, error) {
+	if t := p.peek(); t.Kind == TokLParen {
+		p.next()
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	col, err := p.ident("a column reference")
+	if err != nil {
+		return nil, err
+	}
+	if p.keyword("in") {
+		if _, err := p.expect(TokLParen, "("); err != nil {
+			return nil, err
+		}
+		var slots []int
+		for {
+			s, err := p.bindSlot()
+			if err != nil {
+				return nil, err
+			}
+			slots = append(slots, s)
+			if p.peek().Kind != TokComma {
+				break
+			}
+			p.next()
+		}
+		if _, err := p.expect(TokRParen, ")"); err != nil {
+			return nil, err
+		}
+		return &InExpr{Col: col, Slots: slots}, nil
+	}
+	opTok, err := p.expect(TokOp, "a comparison operator")
+	if err != nil {
+		return nil, err
+	}
+	op, ok := cmpOps[opTok.Text]
+	if !ok {
+		return nil, parseError(opTok, "unsupported operator %s", opTok.Text)
+	}
+	slot, err := p.bindSlot()
+	if err != nil {
+		return nil, err
+	}
+	return &CmpExpr{Col: col, Op: op, Slot: slot}, nil
+}
+
+var cmpOps = map[string]vector.CmpOp{
+	"=": vector.Eq, "!=": vector.Ne,
+	"<": vector.Lt, "<=": vector.Le,
+	">": vector.Gt, ">=": vector.Ge,
+}
+
+func (p *parser) parseInsert() (Stmt, error) {
+	p.next() // insert
+	if err := p.expectKeyword("into"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident("a table name")
+	if err != nil {
+		return nil, err
+	}
+	st := &InsertStmt{Table: table}
+	if p.peek().Kind == TokLParen {
+		p.next()
+		for {
+			col, err := p.ident("a column name")
+			if err != nil {
+				return nil, err
+			}
+			st.Columns = append(st.Columns, col)
+			if p.peek().Kind != TokComma {
+				break
+			}
+			p.next()
+		}
+		if _, err := p.expect(TokRParen, ")"); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectKeyword("values"); err != nil {
+		return nil, err
+	}
+	for {
+		lp, err := p.expect(TokLParen, "(")
+		if err != nil {
+			return nil, err
+		}
+		var row []int
+		for {
+			s, err := p.bindSlot()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, s)
+			if p.peek().Kind != TokComma {
+				break
+			}
+			p.next()
+		}
+		if _, err := p.expect(TokRParen, ")"); err != nil {
+			return nil, err
+		}
+		if len(st.Columns) > 0 && len(row) != len(st.Columns) {
+			return nil, parseError(lp, "VALUES row has %d values, column list has %d", len(row), len(st.Columns))
+		}
+		if len(st.Rows) > 0 && len(row) != len(st.Rows[0]) {
+			return nil, parseError(lp, "VALUES rows have inconsistent arity (%d vs %d)", len(row), len(st.Rows[0]))
+		}
+		st.Rows = append(st.Rows, row)
+		st.RowPos = append(st.RowPos, lp.Pos)
+		if p.peek().Kind != TokComma {
+			break
+		}
+		p.next()
+	}
+	return st, nil
+}
+
+func (p *parser) parseUpdate() (Stmt, error) {
+	p.next() // update
+	table, err := p.ident("a table name")
+	if err != nil {
+		return nil, err
+	}
+	st := &UpdateStmt{Table: table}
+	if err := p.expectKeyword("set"); err != nil {
+		return nil, err
+	}
+	for {
+		col, err := p.ident("a column name")
+		if err != nil {
+			return nil, err
+		}
+		if t := p.peek(); t.Kind != TokOp || t.Text != "=" {
+			return nil, parseError(t, "expected = in SET clause")
+		}
+		p.next()
+		slot, err := p.bindSlot()
+		if err != nil {
+			return nil, err
+		}
+		st.Set = append(st.Set, SetClause{Col: col, Slot: slot})
+		if p.peek().Kind != TokComma {
+			break
+		}
+		p.next()
+	}
+	if p.keyword("where") {
+		if st.Where, err = p.parseOr(); err != nil {
+			return nil, err
+		}
+	}
+	return st, nil
+}
+
+func (p *parser) parseDelete() (Stmt, error) {
+	p.next() // delete
+	if err := p.expectKeyword("from"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident("a table name")
+	if err != nil {
+		return nil, err
+	}
+	st := &DeleteStmt{Table: table}
+	if p.keyword("where") {
+		var err error
+		if st.Where, err = p.parseOr(); err != nil {
+			return nil, err
+		}
+	}
+	return st, nil
+}

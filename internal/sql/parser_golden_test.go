@@ -1,0 +1,134 @@
+package sql
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden snapshots")
+
+// loadQueries returns the query inputs of testdata/queries.sql (one per
+// line, comments and blanks skipped).
+func loadQueries(t testing.TB) []string {
+	t.Helper()
+	raw, err := os.ReadFile(filepath.Join("testdata", "queries.sql"))
+	if err != nil {
+		t.Fatalf("read queries: %v", err)
+	}
+	var out []string
+	for _, line := range strings.Split(string(raw), "\n") {
+		if trimmed := strings.TrimSpace(line); trimmed == "" || strings.HasPrefix(trimmed, "--") {
+			continue
+		}
+		out = append(out, line)
+	}
+	return out
+}
+
+// snapshot renders one query's outcome through parse AND lower: the
+// normalized template and AST dump for valid input, the error (with its
+// position) otherwise. Lowering runs too so schema-independent statement
+// validation (GROUP BY needs an aggregate, ORDER BY on a grouped query
+// must name a group column, ...) is snapshotted alongside the grammar.
+func snapshot(query string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s\n", query)
+	st, n, err := Parse(query)
+	if err != nil {
+		fmt.Fprintf(&b, "error: %v\n", err)
+		return b.String()
+	}
+	if _, err := Lower(st, n); err != nil {
+		fmt.Fprintf(&b, "lower error: %v\n", err)
+		return b.String()
+	}
+	fmt.Fprintf(&b, "template: %s\n", n.Template)
+	fmt.Fprintf(&b, "slots: %d (%d user binds)\n", len(n.Slots), n.UserBinds)
+	b.WriteString(Dump(st))
+	return b.String()
+}
+
+// TestParseGolden snapshots the parser across every supported query shape
+// and every rejected form: valid queries record their AST + normalized
+// template, invalid ones record the error and its position. Run with
+// -update after intentional grammar changes.
+func TestParseGolden(t *testing.T) {
+	var b strings.Builder
+	for _, q := range loadQueries(t) {
+		b.WriteString(snapshot(q))
+		b.WriteString("\n")
+	}
+	got := b.String()
+	goldenPath := filepath.Join("testdata", "parse.golden")
+	if *update {
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatalf("write golden: %v", err)
+		}
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden (run `go test ./internal/sql -update` to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("parser output diverged from golden snapshot; run with -update after verifying the diff\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestNormalizeIdempotent asserts the normalizer's core contract on every
+// valid corpus query: normalizing a template reproduces the template, with
+// every slot a user bind (no literals left to strip).
+func TestNormalizeIdempotent(t *testing.T) {
+	for _, q := range loadQueries(t) {
+		n, err := Normalize(q)
+		if err != nil {
+			continue
+		}
+		n2, err := Normalize(n.Template)
+		if err != nil {
+			t.Fatalf("template of %q does not re-normalize: %v", q, err)
+		}
+		if n2.Template != n.Template {
+			t.Errorf("normalize not idempotent:\n first: %s\nsecond: %s", n.Template, n2.Template)
+		}
+		if n2.UserBinds != len(n2.Slots) {
+			t.Errorf("template %q still carries literals (%d slots, %d user binds)",
+				n.Template, len(n2.Slots), n2.UserBinds)
+		}
+	}
+}
+
+// TestParseErrorPositions spot-checks that errors point at the offending
+// token in the original text, not at a canonicalized rewrite.
+func TestParseErrorPositions(t *testing.T) {
+	cases := []struct {
+		query     string
+		line, col int
+	}{
+		{"SELECT * FROM orders WHERE price > > 10", 1, 36},
+		{"SELECT * FROM", 1, 14},
+		{"SELECT quantity, count(*) FROM orders GROUP BY category", 1, 8},
+		{"SELECT * FROM orders\nWHERE price >\n> 10", 3, 1},
+		{"UPDATE orders SET price > 5", 1, 25},
+	}
+	for _, tc := range cases {
+		st, n, err := Parse(tc.query)
+		if err == nil {
+			_, err = Lower(st, n)
+		}
+		if err == nil {
+			t.Fatalf("%q: expected error", tc.query)
+		}
+		pe, ok := err.(*ParseError)
+		if !ok {
+			t.Fatalf("%q: error %T is not *ParseError: %v", tc.query, err, err)
+		}
+		if pe.Pos.Line != tc.line || pe.Pos.Col != tc.col {
+			t.Errorf("%q: error at %s, want %d:%d (%v)", tc.query, pe.Pos, tc.line, tc.col, err)
+		}
+	}
+}

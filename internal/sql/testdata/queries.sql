@@ -1,0 +1,59 @@
+-- Valid queries: every supported shape. One query per line; lines
+-- starting with -- are comments. The golden snapshots live in
+-- parse.golden (regenerate with `go test ./internal/sql -update`).
+SELECT * FROM orders
+select * from orders where price > 10
+SELECT * FROM orders WHERE price > ? AND quantity <= 3
+SELECT * FROM orders WHERE category = 'books' OR category = 'games'
+SELECT * FROM orders WHERE category IN ('books', 'games', 'tools')
+SELECT * FROM orders WHERE id IN (?, ?) AND price != 9.99
+SELECT * FROM orders WHERE (price < 5 OR price >= 100) AND quantity <> 2
+SELECT * FROM ORDERS WHERE PRICE > 10
+select id, category from orders where price > 1.5e2 order by id desc limit 10
+SELECT category, count(*), sum(price) FROM orders GROUP BY category
+SELECT count(*), min(price), max(price), avg(quantity) FROM orders
+SELECT category, region, count(*) FROM orders WHERE price > ? GROUP BY category, region ORDER BY category ASC, region DESC LIMIT 5
+SELECT sum(price), category FROM orders GROUP BY category
+SELECT * FROM orders WHERE price = -5
+SELECT * FROM orders WHERE price > -1.25 LIMIT 3
+SELECT * FROM orders WHERE note = 'it''s quoted'
+SELECT * FROM orders LIMIT ?
+INSERT INTO orders VALUES (1, 'books', 2, 9.99)
+INSERT INTO orders (id, category) VALUES (?, ?), (2, 'games')
+insert into orders values (?, ?, ?, ?)
+UPDATE orders SET price = 12.5 WHERE id = 7
+UPDATE orders SET price = ?, quantity = ? WHERE category = 'books' AND price < ?
+update orders set quantity = 0
+DELETE FROM orders WHERE id = ?
+DELETE FROM orders
+delete from orders where category in ('a','b') or price > 100
+SELECT * FROM orders WHERE price > 10;
+-- Invalid queries: each must produce an error with a position.
+SELECT
+SELECT * FROM
+SELECT * WHERE price > 10
+SELECT * FROM orders WHERE
+SELECT * FROM orders WHERE price >
+SELECT * FROM orders WHERE price > > 10
+SELECT * FROM orders WHERE price 10
+SELECT * FROM orders WHERE price = 'unterminated
+SELECT * FROM orders WHERE price = 10 GROUP category
+SELECT * FROM orders GROUP BY category
+SELECT *, count(*) FROM orders GROUP BY category
+SELECT quantity, count(*) FROM orders GROUP BY category
+SELECT category, count(*) FROM orders GROUP BY category ORDER BY price
+SELECT sum(*) FROM orders
+SELECT * FROM orders LIMIT 10 WHERE price > 1
+SELECT * FROM orders trailing garbage
+SELECT * FROM orders; SELECT * FROM orders
+INSERT INTO orders (id, category) VALUES (1, 'books', 2)
+INSERT INTO orders VALUES (1, 2), (3, 4, 5)
+INSERT orders VALUES (1)
+UPDATE orders WHERE id = 1
+UPDATE orders SET price > 5
+DELETE orders WHERE id = 1
+DROP TABLE orders
+SELECT * FROM orders WHERE price + 1 > 2
+SELECT * FROM orders WHERE price = 99999999999999999999
+SELECT * FROM orders WHERE a = b
+SELECT * FROM orders WHERE price > 10e

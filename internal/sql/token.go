@@ -1,0 +1,72 @@
+// Package sql is the hand-written SQL text front-end: a lexer, a
+// normalizer that strips literals into bind slots (producing the cache-key
+// template), a recursive-descent parser for the supported SELECT/DML
+// subset, lowering onto the name-based execution surface of internal/exec
+// and internal/core, and a shared size-bounded LRU plan cache keyed by
+// normalized template so repeated query shapes pay lex/parse/lower once
+// and then only bind + execute (§ DESIGN.md 11).
+package sql
+
+import "fmt"
+
+// TokKind enumerates lexical token classes.
+type TokKind uint8
+
+const (
+	// TokEOF terminates every token stream.
+	TokEOF TokKind = iota
+	// TokIdent is an unquoted identifier (table or column name).
+	TokIdent
+	// TokKeyword is a reserved word (select, from, where, ...), always
+	// lowercased by the lexer.
+	TokKeyword
+	// TokInt is an integer literal (sign folded in by the lexer when it
+	// cannot be a binary operator).
+	TokInt
+	// TokFloat is a floating-point literal.
+	TokFloat
+	// TokString is a single-quoted string literal ('' escapes a quote).
+	TokString
+	// TokBind is a `?` bind-parameter placeholder.
+	TokBind
+	// TokOp is a comparison operator (=, !=, <>, <, <=, >, >=).
+	TokOp
+	// TokLParen, TokRParen, TokComma, TokStar are punctuation.
+	TokLParen
+	TokRParen
+	TokComma
+	TokStar
+)
+
+// Pos locates a token in the original query text (1-based line and column).
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// String renders "line:col".
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexical unit with its source position. Text holds the
+// canonical spelling: keywords lowercased, identifiers verbatim, operators
+// normalized (<> becomes !=), literals their original digits/characters.
+type Token struct {
+	Kind TokKind
+	Text string
+	Pos  Pos
+}
+
+// keywords are the reserved words of the supported subset. Anything else
+// alphanumeric lexes as an identifier.
+var keywords = map[string]bool{
+	"select": true, "from": true, "where": true, "group": true, "by": true,
+	"order": true, "limit": true, "and": true, "or": true, "in": true,
+	"insert": true, "into": true, "values": true, "update": true,
+	"set": true, "delete": true, "asc": true, "desc": true,
+	"count": true, "sum": true, "min": true, "max": true, "avg": true,
+}
+
+// aggFuncs is the subset of keywords naming aggregate functions.
+var aggFuncs = map[string]bool{
+	"count": true, "sum": true, "min": true, "max": true, "avg": true,
+}

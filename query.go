@@ -16,51 +16,78 @@ import (
 // segment (§5.2).
 type Filter = exec.Node
 
+// colRef constrains the two ways a filter can reference a column: by
+// schema ordinal, or by name resolved against the schema when the query
+// executes. The name-based forms (EqName, InName, ...) are the preferred
+// surface — they are what SQL text lowers onto — and the ordinal variants
+// route through the same helpers for compatibility.
+type colRef interface{ ~int | ~string }
+
+// cmpFilter builds a comparison clause from either column reference form.
+func cmpFilter[C colRef](col C, op vector.CmpOp, v Value) Filter {
+	switch c := any(col).(type) {
+	case int:
+		return exec.NewLeaf(c, op, v)
+	default:
+		return exec.NewNamedLeaf(any(col).(string), op, v)
+	}
+}
+
+// inFilter builds an IN-list clause from either column reference form.
+func inFilter[C colRef](col C, vals []Value) Filter {
+	switch c := any(col).(type) {
+	case int:
+		return exec.NewIn(c, vals)
+	default:
+		return exec.NewNamedIn(any(col).(string), vals)
+	}
+}
+
 // Comparison filter constructors. Column ordinals follow the table schema;
 // the *Name variants reference columns by name and resolve against the
 // schema when the query executes.
 
 // Eq matches col == v.
-func Eq(col int, v Value) Filter { return exec.NewLeaf(col, vector.Eq, v) }
+func Eq(col int, v Value) Filter { return cmpFilter(col, vector.Eq, v) }
 
 // Ne matches col != v.
-func Ne(col int, v Value) Filter { return exec.NewLeaf(col, vector.Ne, v) }
+func Ne(col int, v Value) Filter { return cmpFilter(col, vector.Ne, v) }
 
 // Lt matches col < v.
-func Lt(col int, v Value) Filter { return exec.NewLeaf(col, vector.Lt, v) }
+func Lt(col int, v Value) Filter { return cmpFilter(col, vector.Lt, v) }
 
 // Le matches col <= v.
-func Le(col int, v Value) Filter { return exec.NewLeaf(col, vector.Le, v) }
+func Le(col int, v Value) Filter { return cmpFilter(col, vector.Le, v) }
 
 // Gt matches col > v.
-func Gt(col int, v Value) Filter { return exec.NewLeaf(col, vector.Gt, v) }
+func Gt(col int, v Value) Filter { return cmpFilter(col, vector.Gt, v) }
 
 // Ge matches col >= v.
-func Ge(col int, v Value) Filter { return exec.NewLeaf(col, vector.Ge, v) }
+func Ge(col int, v Value) Filter { return cmpFilter(col, vector.Ge, v) }
 
 // In matches col ∈ vals.
-func In(col int, vals ...Value) Filter { return exec.NewIn(col, vals) }
+func In(col int, vals ...Value) Filter { return inFilter(col, vals) }
 
 // EqName matches the named column == v.
-func EqName(col string, v Value) Filter { return exec.NewNamedLeaf(col, vector.Eq, v) }
+func EqName(col string, v Value) Filter { return cmpFilter(col, vector.Eq, v) }
 
 // NeName matches the named column != v.
-func NeName(col string, v Value) Filter { return exec.NewNamedLeaf(col, vector.Ne, v) }
+func NeName(col string, v Value) Filter { return cmpFilter(col, vector.Ne, v) }
 
 // LtName matches the named column < v.
-func LtName(col string, v Value) Filter { return exec.NewNamedLeaf(col, vector.Lt, v) }
+func LtName(col string, v Value) Filter { return cmpFilter(col, vector.Lt, v) }
 
 // LeName matches the named column <= v.
-func LeName(col string, v Value) Filter { return exec.NewNamedLeaf(col, vector.Le, v) }
+func LeName(col string, v Value) Filter { return cmpFilter(col, vector.Le, v) }
 
 // GtName matches the named column > v.
-func GtName(col string, v Value) Filter { return exec.NewNamedLeaf(col, vector.Gt, v) }
+func GtName(col string, v Value) Filter { return cmpFilter(col, vector.Gt, v) }
 
 // GeName matches the named column >= v.
-func GeName(col string, v Value) Filter { return exec.NewNamedLeaf(col, vector.Ge, v) }
+func GeName(col string, v Value) Filter { return cmpFilter(col, vector.Ge, v) }
 
 // InName matches the named column ∈ vals.
-func InName(col string, vals ...Value) Filter { return exec.NewNamedIn(col, vals) }
+func InName(col string, vals ...Value) Filter { return inFilter(col, vals) }
 
 // And conjoins filters; clause order is re-optimized at run time (§5.2).
 func And(fs ...Filter) Filter { return exec.NewAnd(fs...) }
@@ -117,12 +144,13 @@ type groupKey struct {
 	name string
 }
 
-// Query is a fluent analytic query over one table. Execution fans one scan
-// task per leaf partition onto a bounded worker pool and merges partial
-// results in deterministic partition order — the way the aggregator nodes
-// of §2 coordinate queries. Rows/Count run under context.Background();
-// RowsCtx/CountCtx accept a context whose cancellation aborts in-flight
-// partition scans.
+// Query is a fluent analytic query over one table, started with DB.Table.
+// (SQL text given to DB.Query lowers onto the same structure.) Execution
+// fans one scan task per leaf partition onto a bounded worker pool and
+// merges partial results in deterministic partition order — the way the
+// aggregator nodes of §2 coordinate queries. Rows/Count run under
+// context.Background(); RowsCtx/CountCtx accept a context whose
+// cancellation aborts in-flight partition scans.
 type Query struct {
 	db          *DB
 	table       string
@@ -138,8 +166,9 @@ type Query struct {
 	stats exec.ScanStats
 }
 
-// Query starts a query against a table.
-func (db *DB) Query(table string) *Query {
+// Table starts a fluent builder query against a table. (DB.Query is the
+// SQL-text entry point; both lower onto the same execution plans.)
+func (db *DB) Table(table string) *Query {
 	return &Query{db: db, table: table, limit: -1}
 }
 

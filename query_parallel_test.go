@@ -38,7 +38,7 @@ func sameRows(t *testing.T, got, want []Row, label string) {
 func TestParallelGroupByMergeMatchesSequential(t *testing.T) {
 	db := openParallelDB(t, 2000)
 	build := func() *Query {
-		return db.Query("events").
+		return db.Table("events").
 			Where(GtName("amount", Int(5))).
 			GroupByNames("kind").
 			Agg(CountAll(), SumName("amount"), MinName("id"), MaxName("id"), AvgName("score"))
@@ -62,7 +62,7 @@ func TestParallelGroupByMergeMatchesSequential(t *testing.T) {
 func TestParallelOrderByLimitDeterministic(t *testing.T) {
 	db := openParallelDB(t, 1500)
 	run := func() []Row {
-		rows, err := db.Query("events").
+		rows, err := db.Table("events").
 			GroupByNames("kind").
 			Agg(CountAll(), SumName("amount")).
 			OrderBy(Desc("kind")).
@@ -87,11 +87,11 @@ func TestParallelOrderByLimitDeterministic(t *testing.T) {
 
 func TestParallelPlainRowsMatchSequential(t *testing.T) {
 	db := openParallelDB(t, 1200)
-	want, err := db.Query("events").Where(LtName("amount", Int(20))).Parallelism(1).Rows()
+	want, err := db.Table("events").Where(LtName("amount", Int(20))).Parallelism(1).Rows()
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := db.Query("events").Where(LtName("amount", Int(20))).Rows()
+	got, err := db.Table("events").Where(LtName("amount", Int(20))).Rows()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,11 +101,11 @@ func TestParallelPlainRowsMatchSequential(t *testing.T) {
 func TestEarlyLimitMatchesSequential(t *testing.T) {
 	db := openParallelDB(t, 1200)
 	for _, limit := range []int{0, 1, 9, 5000} {
-		want, err := db.Query("events").Parallelism(1).Limit(limit).Rows()
+		want, err := db.Table("events").Parallelism(1).Limit(limit).Rows()
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, err := db.Query("events").Limit(limit).Rows()
+		got, err := db.Table("events").Limit(limit).Rows()
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -117,48 +117,48 @@ func TestQueryContextCancellation(t *testing.T) {
 	db := openParallelDB(t, 800)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := db.Query("events").RowsCtx(ctx); !errors.Is(err, context.Canceled) {
+	if _, err := db.Table("events").RowsCtx(ctx); !errors.Is(err, context.Canceled) {
 		t.Fatalf("RowsCtx on cancelled ctx: err = %v", err)
 	}
-	if _, err := db.Query("events").CountCtx(ctx); !errors.Is(err, context.Canceled) {
+	if _, err := db.Table("events").CountCtx(ctx); !errors.Is(err, context.Canceled) {
 		t.Fatalf("CountCtx on cancelled ctx: err = %v", err)
 	}
 	expired, cancel2 := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
 	defer cancel2()
-	if _, err := db.Query("events").GroupBy(1).Agg(CountAll()).RowsCtx(expired); !errors.Is(err, context.DeadlineExceeded) {
+	if _, err := db.Table("events").GroupBy(1).Agg(CountAll()).RowsCtx(expired); !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("RowsCtx past deadline: err = %v", err)
 	}
 }
 
 func TestNamedColumnErrors(t *testing.T) {
 	db := openParallelDB(t, 100)
-	_, err := db.Query("events").Where(EqName("missing", Int(1))).Rows()
+	_, err := db.Table("events").Where(EqName("missing", Int(1))).Rows()
 	if err == nil || !strings.Contains(err.Error(), `unknown column "missing"`) {
 		t.Fatalf("filter error = %v", err)
 	}
 	if !strings.Contains(err.Error(), "id, kind, amount, score") {
 		t.Fatalf("error does not list available columns: %v", err)
 	}
-	if _, err := db.Query("events").GroupByNames("nope").Agg(CountAll()).Rows(); err == nil {
+	if _, err := db.Table("events").GroupByNames("nope").Agg(CountAll()).Rows(); err == nil {
 		t.Fatal("unknown group-by column accepted")
 	}
-	if _, err := db.Query("events").Agg(SumName("nope")).Rows(); err == nil {
+	if _, err := db.Table("events").Agg(SumName("nope")).Rows(); err == nil {
 		t.Fatal("unknown aggregate column accepted")
 	}
-	if _, err := db.Query("events").OrderBy(Asc("nope")).Rows(); err == nil {
+	if _, err := db.Table("events").OrderBy(Asc("nope")).Rows(); err == nil {
 		t.Fatal("unknown order-by column accepted")
 	}
-	if _, err := db.Query("events").GroupByNames("kind").Agg(CountAll()).OrderBy(Asc("amount")).Rows(); err == nil {
+	if _, err := db.Table("events").GroupByNames("kind").Agg(CountAll()).OrderBy(Asc("amount")).Rows(); err == nil {
 		t.Fatal("order-by on a non-group column of an aggregate query accepted")
 	}
-	if _, err := db.Query("events").GroupBy(99).Agg(CountAll()).Rows(); err == nil {
+	if _, err := db.Table("events").GroupBy(99).Agg(CountAll()).Rows(); err == nil {
 		t.Fatal("out-of-range group ordinal accepted")
 	}
 }
 
 func TestStatsResetPerRunAndRaceSafe(t *testing.T) {
 	db := openParallelDB(t, 1000)
-	q := db.Query("events").Where(EqName("kind", Str("k1")))
+	q := db.Table("events").Where(EqName("kind", Str("k1")))
 	if _, err := q.Rows(); err != nil {
 		t.Fatal(err)
 	}
@@ -193,7 +193,7 @@ func TestStatsResetPerRunAndRaceSafe(t *testing.T) {
 
 func TestExplainReportsPlan(t *testing.T) {
 	db := openParallelDB(t, 600)
-	q := db.Query("events").
+	q := db.Table("events").
 		Where(And(EqName("kind", Str("k2")), Gt(2, Int(10)))).
 		GroupByNames("kind").
 		Agg(CountAll(), SumName("amount")).
@@ -242,14 +242,14 @@ func TestExplainReportsPlan(t *testing.T) {
 	}
 
 	// Early termination is planned for plain limited scans.
-	plain, err := db.Query("events").Limit(3).Explain()
+	plain, err := db.Table("events").Limit(3).Explain()
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !plain.EarlyLimit {
 		t.Fatal("early limit not planned for plain Limit query")
 	}
-	if _, err := db.Query("missing").Explain(); err == nil {
+	if _, err := db.Table("missing").Explain(); err == nil {
 		t.Fatal("Explain on a missing table succeeded")
 	}
 }
@@ -267,16 +267,16 @@ func TestWorkspaceQueriesFanOut(t *testing.T) {
 	if err := ws.WaitCaughtUp(5 * time.Second); err != nil {
 		t.Fatal(err)
 	}
-	want, err := db.Query("events").GroupByNames("kind").Agg(CountAll(), SumName("amount")).OrderBy(Asc("kind")).Rows()
+	want, err := db.Table("events").GroupByNames("kind").Agg(CountAll(), SumName("amount")).OrderBy(Asc("kind")).Rows()
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := db.Query("events").OnWorkspace(ws).GroupByNames("kind").Agg(CountAll(), SumName("amount")).OrderBy(Asc("kind")).Rows()
+	got, err := db.Table("events").OnWorkspace(ws).GroupByNames("kind").Agg(CountAll(), SumName("amount")).OrderBy(Asc("kind")).Rows()
 	if err != nil {
 		t.Fatal(err)
 	}
 	sameRows(t, got, want, "workspace fan-out")
-	plan, err := db.Query("events").OnWorkspace(ws).Explain()
+	plan, err := db.Table("events").OnWorkspace(ws).Explain()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -291,11 +291,11 @@ func TestConcurrentQueriesOnSharedDB(t *testing.T) {
 	for w := 0; w < 8; w++ {
 		go func() {
 			for i := 0; i < 10; i++ {
-				if _, err := db.Query("events").GroupByNames("kind").Agg(CountAll(), AvgName("score")).Rows(); err != nil {
+				if _, err := db.Table("events").GroupByNames("kind").Agg(CountAll(), AvgName("score")).Rows(); err != nil {
 					done <- err
 					return
 				}
-				if _, err := db.Query("events").Where(GtName("amount", Int(25))).Count(); err != nil {
+				if _, err := db.Table("events").Where(GtName("amount", Int(25))).Count(); err != nil {
 					done <- err
 					return
 				}

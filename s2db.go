@@ -5,15 +5,21 @@
 // staging, adaptive query execution, synchronous in-cluster replication,
 // read-only workspaces and point-in-time restore.
 //
-// The public surface is intentionally small:
+// The public surface is intentionally small. Queries can be written as
+// SQL text with `?` bind parameters (parsed once per shape via the shared
+// plan cache) or with the fluent Go builder (DB.Table); both lower onto
+// the same execution plans:
 //
-//	db, _ := s2db.Open(s2db.Config{Partitions: 4})
+//	db, _ := s2db.Open(s2db.Config{Partitions: 4, PlanCacheEntries: 256})
 //	db.CreateTable("events", schema)
 //	db.Insert("events", rows)
-//	rows, _ := db.Query("events").
-//	    Where(s2db.Gt(2, s2db.Int(100))).
-//	    GroupBy(1).
-//	    Agg(s2db.CountAll(), s2db.SumCol(2)).
+//	rows, _ := db.Query(
+//	    "SELECT region, count(*), sum(amount) FROM events WHERE amount > ? GROUP BY region",
+//	    s2db.Int(100))
+//	same, _ := db.Table("events").
+//	    Where(s2db.GtName("amount", s2db.Int(100))).
+//	    GroupByNames("region").
+//	    Agg(s2db.CountAll(), s2db.SumName("amount")).
 //	    Rows()
 package s2db
 
@@ -25,6 +31,7 @@ import (
 	"s2db/internal/cluster"
 	"s2db/internal/core"
 	"s2db/internal/exec"
+	"s2db/internal/sql"
 	"s2db/internal/types"
 )
 
@@ -142,6 +149,13 @@ type Config struct {
 	// batching). Commit latency with group commit enabled is bounded by
 	// GroupCommitInterval + ReplicationLatency.
 	GroupCommitInterval time.Duration
+	// PlanCacheEntries bounds the shared SQL plan cache: lowered plans
+	// keyed by normalized query template (literals stripped to binds), so
+	// repeated query shapes pay lex/parse/lower once and then only
+	// bind + execute. 0 disables the cache — the ablation knob: every
+	// DB.Query/Exec/Explain call then compiles from scratch.
+	// DefaultPlanCacheEntries (256) is a good production size.
+	PlanCacheEntries int
 }
 
 // BlobStore is the object-store contract (see internal/blob).
@@ -187,6 +201,9 @@ type DB struct {
 	cluster *cluster.Cluster
 	cfg     Config
 	vec     *exec.VecCacheGroup
+	// plans is the shared SQL plan cache; nil (PlanCacheEntries == 0)
+	// compiles every statement from scratch.
+	plans *sql.Cache
 }
 
 // newVecCacheGroup resolves the cache knobs: VectorCacheBytes 0 = default,
@@ -255,7 +272,7 @@ func Open(cfg Config) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &DB{cluster: c, cfg: cfg, vec: vec}, nil
+	return &DB{cluster: c, cfg: cfg, vec: vec, plans: sql.NewCache(cfg.PlanCacheEntries)}, nil
 }
 
 // VectorCacheStats returns the decoded-vector cache counters broken down
@@ -375,5 +392,5 @@ func PointInTimeRestore(cfg Config, catalog map[string]*Schema, target time.Time
 		c.Close()
 		return nil, err
 	}
-	return &DB{cluster: c, cfg: cfg, vec: vec}, nil
+	return &DB{cluster: c, cfg: cfg, vec: vec, plans: sql.NewCache(cfg.PlanCacheEntries)}, nil
 }

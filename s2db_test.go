@@ -56,7 +56,7 @@ func TestOpenInsertQuery(t *testing.T) {
 		t.Fatal(err)
 	}
 	loadEvents(t, db, 200)
-	n, err := db.Query("events").Count()
+	n, err := db.Table("events").Count()
 	if err != nil || n != 200 {
 		t.Fatalf("Count = %d, %v", n, err)
 	}
@@ -66,7 +66,7 @@ func TestOpenInsertQuery(t *testing.T) {
 		t.Fatalf("Get = %v %v %v", r, ok, err)
 	}
 	// Filtered query.
-	n, err = db.Query("events").Where(And(Eq(1, Str("k1")), Lt(2, Int(25)))).Count()
+	n, err = db.Table("events").Where(And(Eq(1, Str("k1")), Lt(2, Int(25)))).Count()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +85,7 @@ func TestQueryAggregationAcrossPartitions(t *testing.T) {
 	db := openTestDB(t, Config{Partitions: 3})
 	db.CreateTable("events", eventsSchema())
 	loadEvents(t, db, 300)
-	rows, err := db.Query("events").
+	rows, err := db.Table("events").
 		GroupBy(1).
 		Agg(CountAll(), SumCol(2), AvgCol(3), MinCol(0), MaxCol(0)).
 		OrderBy(OrderBy{Col: 0}).
@@ -139,7 +139,7 @@ func TestUpdateDeleteThroughFacade(t *testing.T) {
 	if err != nil || n != 25 {
 		t.Fatalf("Update = %d, %v", n, err)
 	}
-	cnt, _ := db.Query("events").Where(Eq(2, Int(-5))).Count()
+	cnt, _ := db.Table("events").Where(Eq(2, Int(-5))).Count()
 	if cnt != 25 {
 		t.Fatalf("updated rows visible = %d", cnt)
 	}
@@ -147,7 +147,7 @@ func TestUpdateDeleteThroughFacade(t *testing.T) {
 	if err != nil || d != 25 {
 		t.Fatalf("Delete = %d, %v", d, err)
 	}
-	total, _ := db.Query("events").Count()
+	total, _ := db.Table("events").Count()
 	if total != 75 {
 		t.Fatalf("total after delete = %d", total)
 	}
@@ -184,7 +184,7 @@ func TestWorkspaceQueries(t *testing.T) {
 	if err := ws.WaitCaughtUp(5 * time.Second); err != nil {
 		t.Fatal(err)
 	}
-	n, err := db.Query("events").OnWorkspace(ws).Count()
+	n, err := db.Table("events").OnWorkspace(ws).Count()
 	if err != nil || n != 100 {
 		t.Fatalf("workspace count = %d, %v", n, err)
 	}
@@ -197,7 +197,7 @@ func TestQueryStatsExposeAdaptivity(t *testing.T) {
 	db := openTestDB(t, Config{Partitions: 1, MaxSegmentRows: 32})
 	db.CreateTable("events", eventsSchema())
 	loadEvents(t, db, 256)
-	q := db.Query("events").Where(Eq(1, Str("k1")))
+	q := db.Table("events").Where(Eq(1, Str("k1")))
 	if _, err := q.Count(); err != nil {
 		t.Fatal(err)
 	}
@@ -232,12 +232,12 @@ func TestFacadePointInTimeRestore(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer restored.Close()
-	n, err := restored.Query("events").Count()
+	n, err := restored.Table("events").Count()
 	if err != nil || n != 60 {
 		t.Fatalf("restored count = %d, %v", n, err)
 	}
 	// The live database is empty; the restore is independent state.
-	live, _ := db.Query("events").Count()
+	live, _ := db.Table("events").Count()
 	if live != 0 {
 		t.Fatalf("live count = %d", live)
 	}

@@ -1,0 +1,199 @@
+package s2db
+
+import (
+	"context"
+	"fmt"
+
+	"s2db/internal/core"
+	"s2db/internal/sql"
+)
+
+// This file is the SQL text front-end: DB.Query / DB.QueryCtx execute a
+// SELECT written as SQL text with `?` bind parameters, DB.Exec runs
+// INSERT/UPDATE/DELETE, and DB.Explain returns the execution plan without
+// running it. Statements lower onto the same name-based fluent builder
+// (DB.Table) and internal/exec plans the Go API uses, so both surfaces
+// see identical execution, statistics and snapshots.
+//
+// The pipeline is parse → normalize → template-keyed plan cache → bind →
+// execute (DESIGN.md §11): query text is normalized into a template
+// (literals stripped to binds, case and whitespace canonicalized), the
+// template keys a shared LRU of lowered plans, and a cache hit skips
+// lex/parse/lower entirely — only bind validation and execution run.
+
+// ParseError is a lexing/parsing failure with the position (line:column)
+// and the offending token. Returned by Query/Exec/Explain; match with
+// errors.As.
+type ParseError = sql.ParseError
+
+// ColumnError is a column-resolution failure (unknown column, type
+// mismatch) annotated with the identifier's position in the query text.
+type ColumnError = sql.ColumnError
+
+// PlanCacheStats snapshots the shared plan cache: Hits (TextHits of which
+// skipped lexing too), Misses (full compilations), Evictions and current
+// entry counts. All zero when the cache is disabled.
+type PlanCacheStats = sql.CacheStats
+
+// DefaultPlanCacheEntries bounds the plan cache when Config.PlanCacheEntries
+// names no explicit size in examples and benches; it is referenced by
+// documentation rather than applied implicitly — PlanCacheEntries == 0
+// keeps the cache off (the ablation configuration).
+const DefaultPlanCacheEntries = 256
+
+// QueryCtx executes a SELECT given as SQL text under ctx, with `?` bind
+// parameters supplied in order. Without aggregates it returns the
+// matching rows (projected to the select list); with aggregates one row
+// per group.
+func (db *DB) QueryCtx(ctx context.Context, sqlText string, binds ...Value) ([]Row, error) {
+	rows, _, err := db.sqlQuery(ctx, sqlText, binds)
+	return rows, err
+}
+
+// Query executes a SELECT given as SQL text under context.Background().
+func (db *DB) Query(sqlText string, binds ...Value) ([]Row, error) {
+	return db.QueryCtx(context.Background(), sqlText, binds...)
+}
+
+// Exec executes INSERT, UPDATE or DELETE given as SQL text, returning the
+// number of rows inserted, updated or deleted. Writes wait for
+// replication durability exactly like the Go API's Insert/Update/Delete.
+func (db *DB) Exec(sqlText string, binds ...Value) (int, error) {
+	p, vals, schema, err := db.prepareBind(sqlText, binds)
+	if err != nil {
+		return 0, err
+	}
+	switch p.Stmt.Kind {
+	case sql.StmtInsert:
+		rows, err := p.Stmt.BindInsert(sqlText, vals, schema)
+		if err != nil {
+			return 0, err
+		}
+		res, err := db.cluster.Insert(p.Stmt.Table, rows, core.InsertOptions{})
+		if err != nil {
+			return 0, err
+		}
+		return res.Inserted + res.Replaced + res.Updated, nil
+	case sql.StmtUpdate:
+		m, err := p.Stmt.BindUpdate(sqlText, vals, schema)
+		if err != nil {
+			return 0, err
+		}
+		return db.cluster.UpdateWhere(m.Table, m.Where, m.Set)
+	case sql.StmtDelete:
+		m, err := p.Stmt.BindDelete(sqlText, vals, schema)
+		if err != nil {
+			return 0, err
+		}
+		return db.cluster.DeleteWhere(m.Table, m.Where)
+	default:
+		return 0, fmt.Errorf("s2db: %s statement returns rows — use Query", p.Stmt.Kind)
+	}
+}
+
+// Explain prepares a SQL statement — consulting the plan cache exactly as
+// execution would — and returns its plan without running it. The plan
+// carries the normalized template, whether this preparation hit the
+// cache, and the cache's cumulative counters.
+func (db *DB) Explain(sqlText string, binds ...Value) (Plan, error) {
+	p, vals, schema, err := db.prepareBind(sqlText, binds)
+	if err != nil {
+		return Plan{}, err
+	}
+	if p.Stmt.Kind != sql.StmtSelect {
+		return Plan{
+			Table:        p.Stmt.Table,
+			SQL:          p.Stmt.Template,
+			Statement:    p.Stmt.Kind.String(),
+			PlanCacheHit: p.Hit,
+			PlanCache:    db.plans.Stats(),
+			Limit:        -1,
+		}, nil
+	}
+	b, err := p.Stmt.BindSelect(sqlText, vals, schema)
+	if err != nil {
+		return Plan{}, err
+	}
+	q := db.boundQuery(b)
+	plan, err := q.Explain()
+	if err != nil {
+		return Plan{}, err
+	}
+	plan.SQL = p.Stmt.Template
+	plan.Statement = "select"
+	plan.PlanCacheHit = p.Hit
+	plan.PlanCache = db.plans.Stats()
+	return plan, nil
+}
+
+// PlanCacheStats returns the shared plan cache's cumulative counters.
+func (db *DB) PlanCacheStats() PlanCacheStats { return db.plans.Stats() }
+
+// prepareBind runs the shared front half of every SQL entry point:
+// resolve the text through the plan cache (or compile when disabled),
+// assemble the slot values from extracted literals + caller binds, and
+// fetch the target table's schema.
+func (db *DB) prepareBind(sqlText string, binds []Value) (*sql.Prepared, []Value, *Schema, error) {
+	p, err := db.plans.Prepare(sqlText)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	vals, err := p.Bind(binds)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	schema, err := db.cluster.Schema(p.Stmt.Table)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return p, vals, schema, nil
+}
+
+// sqlQuery executes a SELECT and returns the rows plus the underlying
+// builder query (whose Stats carry the run's counters, including the
+// plan-cache outcome) for tests and Explain.
+func (db *DB) sqlQuery(ctx context.Context, sqlText string, binds []Value) ([]Row, *Query, error) {
+	p, vals, schema, err := db.prepareBind(sqlText, binds)
+	if err != nil {
+		return nil, nil, err
+	}
+	b, err := p.Stmt.BindSelect(sqlText, vals, schema)
+	if err != nil {
+		return nil, nil, err
+	}
+	q := db.boundQuery(b)
+	rows, err := q.RowsCtx(ctx)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Record the plan-cache outcome on this run's counters so the stats a
+	// SQL query reports are complete (ScanStats.PlanCacheHits/Misses).
+	q.mu.Lock()
+	if p.Hit {
+		q.stats.PlanCacheHits++
+	} else {
+		q.stats.PlanCacheMisses++
+	}
+	q.mu.Unlock()
+	if b.Project != nil {
+		projected := make([]Row, len(rows))
+		for i, r := range rows {
+			projected[i] = r.Project(b.Project)
+		}
+		rows = projected
+	}
+	return rows, q, nil
+}
+
+// boundQuery adapts a bound SELECT onto the fluent builder.
+func (db *DB) boundQuery(b *sql.BoundSelect) *Query {
+	q := db.Table(b.Table)
+	q.filter = b.Filter
+	for _, g := range b.GroupBy {
+		q.groups = append(q.groups, groupKey{ord: -1, name: g})
+	}
+	q.aggs = b.Aggs
+	q.order = b.Order
+	q.limit = b.Limit
+	return q
+}

@@ -66,7 +66,7 @@ func TestPerWorkspaceCacheStatsAndExplain(t *testing.T) {
 	}
 
 	// A primary query resolves against the primary cache partition.
-	q := db.Query("events").Where(Gt(2, Int(10)))
+	q := db.Table("events").Where(Gt(2, Int(10)))
 	plan, err := q.Explain()
 	if err != nil {
 		t.Fatal(err)
@@ -81,7 +81,7 @@ func TestPerWorkspaceCacheStatsAndExplain(t *testing.T) {
 	// A workspace query resolves against the workspace's own partition, and
 	// its scans show up in the workspace's tier stats, not the primary's.
 	primaryBefore := db.VectorCacheStats().Primary
-	wq := db.Query("events").OnWorkspace(ws).Where(Gt(2, Int(10)))
+	wq := db.Table("events").OnWorkspace(ws).Where(Gt(2, Int(10)))
 	wplan, err := wq.Explain()
 	if err != nil {
 		t.Fatal(err)
@@ -135,14 +135,14 @@ func TestSharedVectorCacheAblation(t *testing.T) {
 	}
 	// Unified mode: the workspace aliases the primary tier, so its query
 	// reports the primary partition and no per-workspace entry exists.
-	plan, err := db.Query("events").OnWorkspace(ws).Explain()
+	plan, err := db.Table("events").OnWorkspace(ws).Explain()
 	if err != nil {
 		t.Fatal(err)
 	}
 	if plan.CachePartition != "primary" {
 		t.Fatalf("unified-mode cache partition = %q, want primary", plan.CachePartition)
 	}
-	if _, err := db.Query("events").OnWorkspace(ws).Count(); err != nil {
+	if _, err := db.Table("events").OnWorkspace(ws).Count(); err != nil {
 		t.Fatal(err)
 	}
 	stats := db.VectorCacheStats()
