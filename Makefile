@@ -1,7 +1,7 @@
 # Tier-1 gate: every change must pass `make check` — build, vet, and the
 # full test suite under the race detector (the parallel fan-out scheduler
 # runs on every query, so -race is part of the gate, not an extra).
-.PHONY: check ci fmtcheck build vet test race racewal bench benchgc benchmerge benchws benchsql benchsmoke benchall fuzzsmoke
+.PHONY: check ci fmtcheck build vet test race racewal bench benchgc benchmerge benchws benchsql benchkernels benchsmoke benchall fuzzsmoke
 
 check: build vet race
 
@@ -65,6 +65,12 @@ benchws:
 benchsql:
 	go run ./cmd/s2bench -exp sqlplan -out BENCH_PR6.json
 
+# benchkernels regenerates BENCH_PR7.json: fused single-pass encoded
+# execution vs the DisableFusedKernels three-pass ablation, per encoding
+# and filter selectivity, plus the TPC-H warm-geomean delta.
+benchkernels:
+	go run ./cmd/s2bench -exp kernels -out BENCH_PR7.json
+
 # benchsmoke runs every benchmark harness end to end at tiny scale and
 # never rewrites the committed JSON artifacts — the CI guard against
 # harness rot.
@@ -74,6 +80,7 @@ benchsmoke:
 	go run ./cmd/s2bench -exp merge -smoke
 	go run ./cmd/s2bench -exp wscache -smoke
 	go run ./cmd/s2bench -exp sqlplan -smoke
+	go run ./cmd/s2bench -exp kernels -smoke
 
 # fuzzsmoke runs the SQL lexer/parser/normalizer fuzz targets for a few
 # seconds each: FuzzParse must never panic, FuzzNormalize must stay

@@ -162,6 +162,10 @@ func (p Plan) String() string {
 			s.IndexFilters, s.EncodedFilters, s.RegularFilters, s.GroupFilters,
 			s.RowsOutput, s.RowsScanned)
 	}
+	if s.EncodedFilterSegs+s.FusedAggSegs+s.RowsMaterialized > 0 {
+		fmt.Fprintf(&b, "  fused: %d span-filtered segs, %d fused-agg segs; %d rows materialized\n",
+			s.EncodedFilterSegs, s.FusedAggSegs, s.RowsMaterialized)
+	}
 	if s.VecCacheHits+s.VecCacheMisses+s.VecCacheWaits+s.VecDecodes > 0 {
 		part := p.CachePartition
 		if part == "" {

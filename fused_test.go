@@ -1,0 +1,69 @@
+package s2db
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestFusedKernelsSurfaceInExplain: a run through the fused path must
+// report its counters in the structured plan and the rendered string, and
+// the DisableFusedKernels ablation must return identical results with the
+// fused counters silent.
+func TestFusedKernelsSurfaceInExplain(t *testing.T) {
+	fused := openTestDB(t, Config{Partitions: 2})
+	ablated := openTestDB(t, Config{Partitions: 2, DisableFusedKernels: true})
+	for _, db := range []*DB{fused, ablated} {
+		if err := db.CreateTable("events", eventsSchema()); err != nil {
+			t.Fatal(err)
+		}
+		loadEvents(t, db, 400)
+	}
+	query := func(db *DB) *Query {
+		return db.Table("events").
+			Where(GeName("amount", Int(10))).
+			Agg(CountAll(), SumName("amount"), MinName("score"))
+	}
+
+	frows, err := query(fused).Rows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	arows, err := query(ablated).Rows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(frows, arows) {
+		t.Fatalf("fused %v != ablated %v", frows, arows)
+	}
+
+	q := query(fused)
+	if _, err := q.Rows(); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := q.Explain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Strategies.FusedAggSegs == 0 {
+		t.Fatalf("no fused-agg segments in plan: %+v", plan.Strategies)
+	}
+	if plan.Strategies.RowsMaterialized != 0 {
+		t.Fatalf("fused global aggregate materialized %d rows", plan.Strategies.RowsMaterialized)
+	}
+	if !strings.Contains(plan.String(), "fused:") {
+		t.Fatalf("plan rendering missing fused line:\n%s", plan.String())
+	}
+
+	qa := query(ablated)
+	if _, err := qa.Rows(); err != nil {
+		t.Fatal(err)
+	}
+	aplan, err := qa.Explain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aplan.Strategies.FusedAggSegs != 0 || aplan.Strategies.EncodedFilterSegs != 0 {
+		t.Fatalf("ablated run reported fused counters: %+v", aplan.Strategies)
+	}
+}

@@ -318,3 +318,38 @@ func TestDecodeErrors(t *testing.T) {
 		t.Fatal("truncated bitpack should fail")
 	}
 }
+
+// TestRLEFindRunBoundaries pins FindRun at the offsets span execution
+// depends on: both ends of a single-run column, first/last row of interior
+// runs, and run transitions.
+func TestRLEFindRunBoundaries(t *testing.T) {
+	// Single-run segment: every offset maps to run 0.
+	one := NewRLE([]int64{7, 7, 7, 7})
+	for _, i := range []int{0, 1, 3} {
+		if j := one.FindRun(i); j != 0 {
+			t.Fatalf("single-run FindRun(%d) = %d, want 0", i, j)
+		}
+		if v := one.At(i); v != 7 {
+			t.Fatalf("single-run At(%d) = %d, want 7", i, v)
+		}
+	}
+	if v, s, e := one.Run(0); v != 7 || s != 0 || e != 4 {
+		t.Fatalf("single-run Run(0) = (%d, %d, %d), want (7, 0, 4)", v, s, e)
+	}
+
+	r := NewRLE([]int64{4, 4, 4, 9, 9, 2})
+	want := []int{0, 0, 0, 1, 1, 2}
+	for i, wj := range want {
+		if j := r.FindRun(i); j != wj {
+			t.Fatalf("FindRun(%d) = %d, want %d", i, j, wj)
+		}
+	}
+	// At must agree with FindRun across every offset, including the
+	// first and last row of the trailing run.
+	wantVals := []int64{4, 4, 4, 9, 9, 2}
+	for i, wv := range wantVals {
+		if v := r.At(i); v != wv {
+			t.Fatalf("At(%d) = %d, want %d", i, v, wv)
+		}
+	}
+}

@@ -46,9 +46,13 @@ func (r *RLE) Run(j int) (val int64, start, end int) {
 }
 
 // At returns the value at row offset i.
-func (r *RLE) At(i int) int64 {
-	j := sort.Search(len(r.ends), func(k int) bool { return r.ends[k] > uint32(i) })
-	return r.vals[j]
+func (r *RLE) At(i int) int64 { return r.vals[r.FindRun(i)] }
+
+// FindRun returns the index of the run containing row offset i — the entry
+// point for span-based encoded execution, which binary-searches once per
+// selection span and then walks runs sequentially.
+func (r *RLE) FindRun(i int) int {
+	return sort.Search(len(r.ends), func(k int) bool { return r.ends[k] > uint32(i) })
 }
 
 // DecodeAll appends all values to dst.

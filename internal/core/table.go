@@ -65,6 +65,12 @@ type Config struct {
 	// encode, SaveFile) instead of only the install commit. Benchmark/
 	// ablation baseline only.
 	MergeHoldLock bool
+	// DisableFusedKernels turns off the fused encoded-execution kernels
+	// (span-space filters, single-pass filter→aggregate over RLE/dict
+	// runs, metadata-only COUNT(*)) and restores the unfused three-pass
+	// scan pipeline. Benchmark/ablation baseline only — fused kernels are
+	// the default (the zero value).
+	DisableFusedKernels bool
 }
 
 // DecodedVectorCache is the invalidation contract between table maintenance
@@ -425,6 +431,10 @@ func (v *View) Index() *index.Set { return v.table.idx }
 // none is configured); the execution layer serves repeated segment decodes
 // from it.
 func (v *View) DecodedCache() DecodedVectorCache { return v.table.cfg.DecodedCache }
+
+// FusedKernelsDisabled reports whether the table opted out of fused
+// encoded-execution kernels (the DisableFusedKernels ablation knob).
+func (v *View) FusedKernelsDisabled() bool { return v.table.cfg.DisableFusedKernels }
 
 // HasSegment reports whether the given segment id is part of the view.
 func (v *View) HasSegment(id uint64) bool {

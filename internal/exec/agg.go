@@ -55,6 +55,15 @@ type AggSpec struct {
 	ExprCols []int
 }
 
+// aggGroup is one group's accumulated state: the cloned key values followed
+// by one aggState per AggSpec. Shared between the unfused row-at-a-time
+// paths and the fused kernels, which resolve groups through the same touch
+// callback so creation order (and therefore output order) is identical.
+type aggGroup struct {
+	key    types.Row
+	states []aggState
+}
+
 type aggState struct {
 	count  int64
 	sumI   int64
@@ -85,6 +94,105 @@ func (a *aggState) add(v types.Value) {
 	}
 	if types.Compare(v, a.maxV) > 0 {
 		a.maxV = v
+	}
+}
+
+// addInt folds a non-null Int64 without boxing; state transitions are
+// identical to add(types.NewInt(v)).
+func (a *aggState) addInt(v int64) {
+	a.count++
+	a.sumI += v
+	if !a.hasVal {
+		a.minV, a.maxV = types.NewInt(v), types.NewInt(v)
+		a.hasVal = true
+		return
+	}
+	if v < a.minV.I {
+		a.minV = types.NewInt(v)
+	}
+	if v > a.maxV.I {
+		a.maxV = types.NewInt(v)
+	}
+}
+
+// addIntRun folds n consecutive occurrences of a non-null Int64 exactly:
+// integer sums commute, so runLen×value replaces n adds bit-for-bit.
+func (a *aggState) addIntRun(v, n int64) {
+	if n <= 0 {
+		return
+	}
+	a.count += n
+	a.sumI += v * n
+	if !a.hasVal {
+		a.minV, a.maxV = types.NewInt(v), types.NewInt(v)
+		a.hasVal = true
+		return
+	}
+	if v < a.minV.I {
+		a.minV = types.NewInt(v)
+	}
+	if v > a.maxV.I {
+		a.maxV = types.NewInt(v)
+	}
+}
+
+// addFloat folds a non-null Float64 without boxing; identical to
+// add(types.NewFloat(v)).
+func (a *aggState) addFloat(v float64) {
+	a.count++
+	a.sumF += v
+	if !a.hasVal {
+		a.minV, a.maxV = types.NewFloat(v), types.NewFloat(v)
+		a.hasVal = true
+		return
+	}
+	if v < a.minV.F {
+		a.minV = types.NewFloat(v)
+	}
+	if v > a.maxV.F {
+		a.maxV = types.NewFloat(v)
+	}
+}
+
+// addFloatRun folds n consecutive occurrences of a non-null Float64.
+// Float addition is not associative, so the sum replays the n additions in
+// order — the bits must match the unfused per-row fold — while MIN/MAX
+// compare once per run.
+func (a *aggState) addFloatRun(v float64, n int) {
+	if n <= 0 {
+		return
+	}
+	a.count += int64(n)
+	for k := 0; k < n; k++ {
+		a.sumF += v
+	}
+	if !a.hasVal {
+		a.minV, a.maxV = types.NewFloat(v), types.NewFloat(v)
+		a.hasVal = true
+		return
+	}
+	if v < a.minV.F {
+		a.minV = types.NewFloat(v)
+	}
+	if v > a.maxV.F {
+		a.maxV = types.NewFloat(v)
+	}
+}
+
+// addStr folds a non-null String without boxing; identical to
+// add(types.NewString(v)) — strings contribute no sums.
+func (a *aggState) addStr(v string) {
+	a.count++
+	if !a.hasVal {
+		a.minV, a.maxV = types.NewString(v), types.NewString(v)
+		a.hasVal = true
+		return
+	}
+	if v < a.minV.S {
+		a.minV = types.NewString(v)
+	}
+	if v > a.maxV.S {
+		a.maxV = types.NewString(v)
 	}
 }
 
@@ -150,20 +258,16 @@ func Aggregate(view *core.View, filter Node, groupCols []int, aggs []AggSpec, sc
 	if scan == nil {
 		scan = NewScan(view, filter)
 	}
-	type group struct {
-		key    types.Row
-		states []aggState
-	}
-	groups := map[string]*group{}
+	groups := map[string]*aggGroup{}
 	// order tracks first-seen group keys so the output is deterministic for
 	// a given view (scan order is deterministic: buffer, then segments).
-	var order []*group
+	var order []*aggGroup
 	var keyBuf []byte
-	touch := func(key types.Row) *group {
+	touch := func(key types.Row) *aggGroup {
 		keyBuf = types.EncodeKey(keyBuf[:0], key...)
 		g, ok := groups[string(keyBuf)]
 		if !ok {
-			g = &group{key: key.Clone(), states: make([]aggState, len(aggs))}
+			g = &aggGroup{key: key.Clone(), states: make([]aggState, len(aggs))}
 			groups[string(keyBuf)] = g
 			order = append(order, g)
 		}
@@ -204,7 +308,7 @@ func Aggregate(view *core.View, filter Node, groupCols []int, aggs []AggSpec, sc
 	}
 
 	scan.RunBuffer(func(r types.Row) bool { addRow(r); return true })
-	scan.RunSegments(func(ctx *SegContext, sel []int32) {
+	segBody := func(ctx *SegContext, sel []int32) {
 		seg := ctx.Meta.Seg
 		// Encoded group-by (§2.1.2: "encoded execution" for group-by):
 		// grouping by a dictionary-encoded string column aggregates per
@@ -278,7 +382,41 @@ func Aggregate(view *core.View, filter Node, groupCols []int, aggs []AggSpec, sc
 		for _, i := range sel {
 			addRow(mat(int(i)))
 		}
-	})
+	}
+	if scan.fusedEnabled() {
+		// Fused path: the filter phase delivers span-space selections and
+		// each segment dispatches to a single-pass kernel when its shape and
+		// encodings allow, falling back to the legacy body (on a flattened
+		// selection) otherwise. Kernels accumulate into the same group table
+		// in the same order, so results are byte-identical either way.
+		fuser := newAggFuser(groupCols, aggs, touch, resultType)
+		selBuf, spanBuf := getSel(0), getSpans()
+		defer putSel(selBuf)
+		defer putSpans(spanBuf)
+		scan.runSegSel(func(ctx *SegContext, spans []Span, sel []int32) {
+			if mode := fuser.classify(ctx); mode != fuseNone {
+				if spans == nil {
+					spans = selToSpans(sel, (*spanBuf)[:0])
+					*spanBuf = spans[:0]
+				}
+				fuser.run(mode, ctx, spans)
+				if ctx.Stats != nil {
+					ctx.Stats.FusedAggSegs++
+				}
+				return
+			}
+			if sel == nil {
+				if cap(*selBuf) < spanRows(spans) {
+					*selBuf = make([]int32, 0, spanRows(spans))
+				}
+				sel = flattenSpans(spans, (*selBuf)[:0])
+				*selBuf = sel[:0]
+			}
+			segBody(ctx, sel)
+		})
+	} else {
+		scan.RunSegments(segBody)
+	}
 
 	out := make([]types.Row, 0, len(order))
 	for _, g := range order {

@@ -154,8 +154,12 @@ func (c *SegContext) Materializer(cols []int, dense bool) func(i int) types.Row 
 	bufp := getRow(ncols)
 	c.rowBufs = append(c.rowBufs, bufp)
 	buf := *bufp
+	stats := c.Stats
 	if !dense {
 		return func(i int) types.Row {
+			if stats != nil {
+				stats.RowsMaterialized++
+			}
 			for _, col := range cols {
 				buf[col] = seg.ValueAt(i, col)
 			}
@@ -182,6 +186,9 @@ func (c *SegContext) Materializer(cols []int, dense bool) func(i int) types.Row 
 		accs[j] = a
 	}
 	return func(i int) types.Row {
+		if stats != nil {
+			stats.RowsMaterialized++
+		}
 		for _, a := range accs {
 			if a.nulls != nil && a.nulls.Get(i) {
 				buf[a.col] = types.Null(a.t)
@@ -234,6 +241,17 @@ type ScanStats struct {
 	// the statement from scratch. Zero for builder-API queries.
 	PlanCacheHits   int64
 	PlanCacheMisses int64
+
+	// Fused-kernel counters. EncodedFilterSegs counts segments whose whole
+	// filter tree evaluated in span space (selections carried as coalesced
+	// runs, never flattened to per-row vectors); FusedAggSegs counts
+	// segments folded by a single-pass fused aggregation kernel instead of
+	// the materialize-then-add path; RowsMaterialized counts rows actually
+	// built into types.Row — the late-materialization budget a fused query
+	// avoids spending.
+	EncodedFilterSegs int64
+	FusedAggSegs      int64
+	RowsMaterialized  int64
 }
 
 // Leaf is a comparison clause: col op val (with optional IN-list).

@@ -1,0 +1,358 @@
+package exec
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"s2db/internal/core"
+	"s2db/internal/txn"
+	"s2db/internal/types"
+	"s2db/internal/vector"
+	"s2db/internal/wal"
+)
+
+// newKernelTable builds a table exercising every encoding the fused kernels
+// dispatch on: id (unique int), cat (indexed dict string), status (dict
+// string), val (sort key → RLE runs in bulk-loaded segments), score
+// (float), hi (high-cardinality bit-packed int, nulls every 7th row), note
+// (high-distinct string, nulls every 11th row).
+func newKernelTable(t testing.TB, maxSegRows int) *core.Table {
+	t.Helper()
+	s := types.NewSchema(
+		types.Column{Name: "id", Type: types.Int64},
+		types.Column{Name: "cat", Type: types.String},
+		types.Column{Name: "status", Type: types.String},
+		types.Column{Name: "val", Type: types.Int64},
+		types.Column{Name: "score", Type: types.Float64},
+		types.Column{Name: "hi", Type: types.Int64},
+		types.Column{Name: "note", Type: types.String},
+	)
+	s.UniqueKey = []int{0}
+	s.SecondaryKeys = [][]int{{1}}
+	s.SortKey = 3
+	tbl, err := core.NewTable("k", s, core.Config{MaxSegmentRows: maxSegRows},
+		core.NewCommitter(&txn.Oracle{}), wal.NewLog(), core.NewMemFiles())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func kernelRow(i int) types.Row {
+	hi := types.NewInt(int64(i * 7919 % 100003))
+	if i%7 == 0 {
+		hi = types.Null(types.Int64)
+	}
+	note := types.NewString(fmt.Sprintf("note-%d", i*31%977))
+	if i%11 == 0 {
+		note = types.Null(types.String)
+	}
+	return types.Row{
+		types.NewInt(int64(i)),
+		types.NewString(fmt.Sprintf("c%d", i%4)),
+		types.NewString(fmt.Sprintf("s%d", i%3)),
+		types.NewInt(int64(i / 16)), // runs of 16 on the sort key
+		types.NewFloat(float64(i%250) * 0.25),
+		hi,
+		note,
+	}
+}
+
+// fillKernel loads n rows (flushed to segments), deletes every 13th row so
+// deletion bitmaps split RLE runs mid-way, then inserts extra unflushed
+// buffer rows.
+func fillKernel(t testing.TB, tbl *core.Table, n, buffered int) {
+	t.Helper()
+	rows := make([]types.Row, 0, n)
+	for i := 0; i < n; i++ {
+		rows = append(rows, kernelRow(i))
+	}
+	if err := tbl.BulkLoad(rows); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.DeleteWhere(core.Where{Col: -1, Pred: func(r types.Row) bool {
+		return r[0].I%13 == 0
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	for i := n; i < n+buffered; i++ {
+		if err := tbl.Insert(kernelRow(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func runAggMode(view *core.View, filter Node, groupCols []int, aggs []AggSpec, unfused bool) ([]types.Row, ScanStats) {
+	f := CloneNode(filter)
+	s := NewScan(view, f)
+	s.DisableFusedKernels = unfused
+	rows := Aggregate(view, f, groupCols, aggs, s)
+	return rows, s.Stats
+}
+
+func runRowsMode(view *core.View, filter Node, project []int, unfused bool) []types.Row {
+	s := NewScan(view, CloneNode(filter))
+	s.DisableFusedKernels = unfused
+	s.Project = project
+	var out []types.Row
+	s.Run(func(r types.Row) bool {
+		out = append(out, r.Clone())
+		return true
+	})
+	return out
+}
+
+// kernelFilters is the shared predicate zoo: RLE range, dict equality
+// (index-eligible), IN list, bit-packed and float comparisons with nulls,
+// conjunctions mixing encodings, a disjunction (legacy fallback inside the
+// fused driver), and an empty-selection predicate.
+func kernelFilters() map[string]Node {
+	return map[string]Node{
+		"none":       nil,
+		"rle-range":  NewLeaf(3, vector.Ge, types.NewInt(10)),
+		"rle-eq":     NewLeaf(3, vector.Eq, types.NewInt(4)),
+		"dict-eq":    NewLeaf(1, vector.Eq, types.NewString("c2")),
+		"dict-gt":    NewLeaf(1, vector.Gt, types.NewString("c1")),
+		"in-list":    NewIn(2, []types.Value{types.NewString("s0"), types.NewString("s2")}),
+		"bitpack-gt": NewLeaf(5, vector.Gt, types.NewInt(50000)),
+		"float-lt":   NewLeaf(4, vector.Lt, types.NewFloat(31.25)),
+		"and-mixed": NewAnd(
+			NewLeaf(3, vector.Ge, types.NewInt(5)),
+			NewLeaf(1, vector.Eq, types.NewString("c1")),
+			NewLeaf(4, vector.Lt, types.NewFloat(50)),
+		),
+		"or-fallback": NewOr(
+			NewLeaf(1, vector.Eq, types.NewString("c0")),
+			NewLeaf(3, vector.Lt, types.NewInt(3)),
+		),
+		"empty": NewLeaf(3, vector.Lt, types.NewInt(-1)),
+	}
+}
+
+func TestFusedUnfusedAggregateEquivalence(t *testing.T) {
+	tbl := newKernelTable(t, 64)
+	fillKernel(t, tbl, 600, 50)
+	view := tbl.Snapshot()
+
+	expr := func(r types.Row) types.Value {
+		return types.NewFloat(float64(r[3].I) * (1 - r[4].F/100))
+	}
+	aggSets := map[string][]AggSpec{
+		"count-star":   {{Func: Count, Col: -1}},
+		"int-stats":    {{Func: Sum, Col: 3}, {Func: Min, Col: 3}, {Func: Max, Col: 3}, {Func: Avg, Col: 3}},
+		"float-stats":  {{Func: Sum, Col: 4}, {Func: Min, Col: 4}, {Func: Max, Col: 4}},
+		"null-cols":    {{Func: Count, Col: 6}, {Func: Min, Col: 6}, {Func: Max, Col: 6}, {Func: Sum, Col: 5}, {Func: Avg, Col: 5}},
+		"expr":         {{Func: Sum, Expr: expr, ExprCols: []int{3, 4}}, {Func: Avg, Expr: expr, ExprCols: []int{3, 4}}},
+		"mixed-expr":   {{Func: Count, Col: -1}, {Func: Sum, Col: 3}, {Func: Sum, Expr: expr, ExprCols: []int{3, 4}}},
+		"opaque-expr":  {{Func: Sum, Expr: expr}}, // nil ExprCols: fused must decline, results still equal
+		"string-stats": {{Func: Min, Col: 1}, {Func: Max, Col: 2}, {Func: Count, Col: -1}},
+	}
+	groupings := map[string][]int{
+		"global":      nil,
+		"dict":        {1},
+		"dict2":       {1, 2},
+		"non-dict":    {3},
+		"dict+nulls":  {6},
+		"dict-status": {2},
+	}
+	for fname, filter := range kernelFilters() {
+		for gname, groupCols := range groupings {
+			for aname, aggs := range aggSets {
+				name := fname + "/" + gname + "/" + aname
+				fused, fstats := runAggMode(view, filter, groupCols, aggs, false)
+				unfused, _ := runAggMode(view, filter, groupCols, aggs, true)
+				if !reflect.DeepEqual(fused, unfused) {
+					t.Fatalf("%s: fused != unfused\nfused:   %v\nunfused: %v", name, fused, unfused)
+				}
+				if fstats.RowsScanned > 0 && fstats.RowsOutput < 0 {
+					t.Fatalf("%s: bogus stats %+v", name, fstats)
+				}
+			}
+		}
+	}
+}
+
+func TestFusedUnfusedRowEquivalence(t *testing.T) {
+	tbl := newKernelTable(t, 64)
+	fillKernel(t, tbl, 400, 30)
+	view := tbl.Snapshot()
+	projections := [][]int{nil, {0, 3}, {1, 4, 6}}
+	for fname, filter := range kernelFilters() {
+		for pi, proj := range projections {
+			fused := runRowsMode(view, filter, proj, false)
+			unfused := runRowsMode(view, filter, proj, true)
+			if !reflect.DeepEqual(fused, unfused) {
+				t.Fatalf("%s/proj%d: fused rows != unfused (%d vs %d)", fname, pi, len(fused), len(unfused))
+			}
+		}
+	}
+}
+
+func TestFusedUnfusedCountEquivalence(t *testing.T) {
+	tbl := newKernelTable(t, 64)
+	fillKernel(t, tbl, 500, 40)
+	view := tbl.Snapshot()
+	for fname, filter := range kernelFilters() {
+		sf := NewScan(view, CloneNode(filter))
+		su := NewScan(view, CloneNode(filter))
+		su.DisableFusedKernels = true
+		if got, want := sf.Count(), su.Count(); got != want {
+			t.Fatalf("%s: fused count %d != unfused %d", fname, got, want)
+		}
+	}
+}
+
+// TestFastCountUsesMetadataOnly: a filterless fused count must read no
+// column vectors and visit no segments — it answers from segment meta plus
+// the buffer walk — while still matching the full-scan count exactly,
+// deletes and buffer rows included.
+func TestFastCountUsesMetadataOnly(t *testing.T) {
+	tbl := newKernelTable(t, 64)
+	fillKernel(t, tbl, 500, 40)
+	view := tbl.Snapshot()
+	fused := NewScan(view, nil)
+	got := fused.Count()
+	unfused := NewScan(view, nil)
+	unfused.DisableFusedKernels = true
+	if want := unfused.Count(); got != want {
+		t.Fatalf("fast count %d != scan count %d", got, want)
+	}
+	if fused.Stats.SegmentsScanned != 0 || fused.Stats.VecDecodes != 0 {
+		t.Fatalf("fast count touched data: %+v", fused.Stats)
+	}
+	if unfused.Stats.SegmentsScanned == 0 {
+		t.Fatal("unfused count did not scan segments (baseline broken)")
+	}
+}
+
+// TestRunStraddlesSelectionGap pins the RLE boundary case from the issue: a
+// deletion carves a gap out of the middle of a run, and the span kernel
+// must clip the run to both sides of the gap.
+func TestRunStraddlesSelectionGap(t *testing.T) {
+	tbl := newKernelTable(t, 256)
+	rows := make([]types.Row, 0, 64)
+	for i := 0; i < 64; i++ {
+		rows = append(rows, kernelRow(i))
+	}
+	if err := tbl.BulkLoad(rows); err != nil {
+		t.Fatal(err)
+	}
+	// Delete ids 20..24: val = id/16, so the val==1 run [16,32) gains an
+	// interior gap.
+	if _, err := tbl.DeleteWhere(core.Where{Col: -1, Pred: func(r types.Row) bool {
+		return r[0].I >= 20 && r[0].I < 25
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	view := tbl.Snapshot()
+	filter := NewLeaf(3, vector.Eq, types.NewInt(1))
+	fused := NewScan(view, CloneNode(filter))
+	if got := fused.Count(); got != 11 {
+		t.Fatalf("straddled-run fused count = %d, want 11", got)
+	}
+	unfused := NewScan(view, CloneNode(filter))
+	unfused.DisableFusedKernels = true
+	if got := unfused.Count(); got != 11 {
+		t.Fatalf("straddled-run unfused count = %d, want 11", got)
+	}
+	// Single-run segment: every val identical.
+	one := newKernelTable(t, 256)
+	same := make([]types.Row, 0, 32)
+	for i := 0; i < 32; i++ {
+		r := kernelRow(i)
+		r[3] = types.NewInt(5)
+		same = append(same, r)
+	}
+	if err := one.BulkLoad(same); err != nil {
+		t.Fatal(err)
+	}
+	v1 := one.Snapshot()
+	if got := NewScan(v1, NewLeaf(3, vector.Eq, types.NewInt(5))).Count(); got != 32 {
+		t.Fatalf("single-run segment count = %d, want 32", got)
+	}
+	if got := NewScan(v1, NewLeaf(3, vector.Eq, types.NewInt(6))).Count(); got != 0 {
+		t.Fatalf("single-run segment miss count = %d, want 0", got)
+	}
+}
+
+// TestFusedCountersSurface checks the new observability counters: fused
+// filters report span-filtered segments, fused aggregations report fused
+// segments and — for plain global aggregates — materialize nothing.
+func TestFusedCountersSurface(t *testing.T) {
+	tbl := newKernelTable(t, 64)
+	fillKernel(t, tbl, 600, 0)
+	view := tbl.Snapshot()
+	filter := NewLeaf(3, vector.Ge, types.NewInt(10))
+	aggs := []AggSpec{{Func: Count, Col: -1}, {Func: Sum, Col: 3}, {Func: Sum, Col: 4}}
+
+	_, fstats := runAggMode(view, filter, nil, aggs, false)
+	if fstats.EncodedFilterSegs == 0 {
+		t.Fatalf("no span-filtered segments recorded: %+v", fstats)
+	}
+	if fstats.FusedAggSegs == 0 {
+		t.Fatalf("no fused-agg segments recorded: %+v", fstats)
+	}
+	if fstats.RowsMaterialized != 0 {
+		t.Fatalf("plain global aggregate materialized %d rows", fstats.RowsMaterialized)
+	}
+
+	_, ustats := runAggMode(view, filter, nil, aggs, true)
+	if ustats.EncodedFilterSegs != 0 || ustats.FusedAggSegs != 0 {
+		t.Fatalf("unfused run reported fused counters: %+v", ustats)
+	}
+
+	// Materializing scans count their built rows in both modes.
+	s := NewScan(view, CloneNode(filter))
+	var rows int64
+	s.Run(func(types.Row) bool { rows++; return true })
+	if s.Stats.RowsMaterialized != rows {
+		t.Fatalf("RowsMaterialized = %d, want %d", s.Stats.RowsMaterialized, rows)
+	}
+}
+
+// TestFusedEquivalenceUnderMerges races fused-vs-unfused aggregation
+// against concurrent inserts, flushes and LSM merges; every snapshot must
+// agree between the two modes (run under -race in CI).
+func TestFusedEquivalenceUnderMerges(t *testing.T) {
+	tbl := newKernelTable(t, 32)
+	fillKernel(t, tbl, 256, 0)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		i := 10000
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for k := 0; k < 64; k++ {
+				_ = tbl.Insert(kernelRow(i))
+				i++
+			}
+			_, _ = tbl.Flush()
+			tbl.Merge()
+		}
+	}()
+	filter := NewAnd(
+		NewLeaf(3, vector.Ge, types.NewInt(2)),
+		NewLeaf(1, vector.Gt, types.NewString("c0")),
+	)
+	aggs := []AggSpec{{Func: Count, Col: -1}, {Func: Sum, Col: 3}, {Func: Min, Col: 4}, {Func: Max, Col: 6}}
+	for round := 0; round < 30; round++ {
+		view := tbl.Snapshot()
+		fused, _ := runAggMode(view, filter, []int{1}, aggs, false)
+		unfused, _ := runAggMode(view, filter, []int{1}, aggs, true)
+		if !reflect.DeepEqual(fused, unfused) {
+			close(stop)
+			wg.Wait()
+			t.Fatalf("round %d: fused != unfused under merge churn\nfused:   %v\nunfused: %v", round, fused, unfused)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

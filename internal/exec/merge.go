@@ -28,10 +28,12 @@ func newAggPlan(groupCols []int, aggs []AggSpec) *aggPlan {
 	}
 	for i, a := range aggs {
 		if a.Func == Avg {
+			// ExprCols carries through so the partials keep projection
+			// pushdown (and fused-kernel eligibility) for avg-of-expression.
 			sumIdx := len(p.partialSpecs)
-			p.partialSpecs = append(p.partialSpecs, AggSpec{Func: Sum, Col: a.Col, Expr: a.Expr})
+			p.partialSpecs = append(p.partialSpecs, AggSpec{Func: Sum, Col: a.Col, Expr: a.Expr, ExprCols: a.ExprCols})
 			countIdx := len(p.partialSpecs)
-			p.partialSpecs = append(p.partialSpecs, AggSpec{Func: Count, Col: a.Col, Expr: a.Expr})
+			p.partialSpecs = append(p.partialSpecs, AggSpec{Func: Count, Col: a.Col, Expr: a.Expr, ExprCols: a.ExprCols})
 			p.avgParts[i] = [2]int{sumIdx, countIdx}
 			p.finalIdx[i] = -1
 			continue
@@ -170,6 +172,9 @@ func accumulate(dst *ScanStats, src ScanStats) {
 	dst.VecCacheSharedHits += src.VecCacheSharedHits
 	dst.PlanCacheHits += src.PlanCacheHits
 	dst.PlanCacheMisses += src.PlanCacheMisses
+	dst.EncodedFilterSegs += src.EncodedFilterSegs
+	dst.FusedAggSegs += src.FusedAggSegs
+	dst.RowsMaterialized += src.RowsMaterialized
 }
 
 // AccumulateStats merges src into dst; the fan-out coordinator uses it to

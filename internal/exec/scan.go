@@ -39,9 +39,22 @@ type Scan struct {
 	// scan (ablation/benchmark knob); private per-segment decodes are used
 	// instead.
 	DisableVectorCache bool
+	// DisableFusedKernels forces the unfused three-pass pipeline (EvalSeg →
+	// flat selection vector → materialize → add) for this scan; the
+	// table-level core.Config.DisableFusedKernels does the same
+	// database-wide. Ablation/benchmark knob — fused kernels are the
+	// default.
+	DisableFusedKernels bool
 
 	vec         *VecCache
 	vecResolved bool
+}
+
+// fusedEnabled reports whether this scan may use the fused encoded-
+// execution kernels (span-space filters, fused aggregation, meta-only
+// counts).
+func (s *Scan) fusedEnabled() bool {
+	return !s.DisableFusedKernels && !s.View.FusedKernelsDisabled()
 }
 
 // cache resolves the decoded-vector cache serving this scan's view, once
@@ -190,7 +203,24 @@ func (s *Scan) candidateSegments() []int {
 // are shared with f, so aggregations reuse the filter's column decodes.
 // Both sel and any rows materialized through the SegContext are backed by
 // pooled buffers valid only until f returns; retain copies, not the slices.
+// With fused kernels enabled the filter phase runs in span space and the
+// surviving spans are flattened once for f.
 func (s *Scan) RunSegments(f func(ctx *SegContext, sel []int32)) {
+	if s.fusedEnabled() {
+		selBuf := getSel(0)
+		defer putSel(selBuf)
+		s.runSegSel(func(ctx *SegContext, spans []Span, sel []int32) {
+			if sel == nil {
+				if cap(*selBuf) < spanRows(spans) {
+					*selBuf = make([]int32, 0, spanRows(spans))
+				}
+				sel = flattenSpans(spans, (*selBuf)[:0])
+				*selBuf = sel[:0]
+			}
+			f(ctx, sel)
+		})
+		return
+	}
 	vec := s.cache()
 	selBuf := getSel(0)
 	scratchBuf := getSel(0)
@@ -235,6 +265,68 @@ func (s *Scan) RunSegments(f func(ctx *SegContext, sel []int32)) {
 	}
 }
 
+// runSegSel is the fused per-segment filter driver: candidate segments are
+// selected exactly as in RunSegments, but the live-row selection starts as
+// coalesced spans (a single span when the segment has no deletes) and the
+// filter evaluates in span space whenever the tree shape and the adaptive
+// cost model allow (spanFusible). f receives the survivors as exactly one
+// of spans (fused filtering) or a flat sel (legacy strategy path); both are
+// pooled and valid only until f returns.
+func (s *Scan) runSegSel(f func(ctx *SegContext, spans []Span, sel []int32)) {
+	vec := s.cache()
+	spanBuf, outBuf := getSpans(), getSpans()
+	selBuf, scratchBuf := getSel(0), getSel(0)
+	defer putSpans(spanBuf)
+	defer putSpans(outBuf)
+	defer putSel(selBuf)
+	defer putSel(scratchBuf)
+	for _, si := range s.candidateSegments() {
+		if s.Cancel != nil && s.Cancel() {
+			return
+		}
+		meta := s.View.Segs[si]
+		s.Stats.SegmentsScanned++
+		s.Stats.RowsScanned += int64(meta.Seg.NumRows)
+		ctx := NewSegContext(meta, s.View.Index(), &s.Stats)
+		ctx.Cache = vec
+		base := liveSpans(meta, (*spanBuf)[:0])
+		*spanBuf = base[:0]
+		if s.Filter == nil {
+			if spanRows(base) > 0 {
+				s.Stats.RowsOutput += int64(spanRows(base))
+				f(ctx, base, nil)
+			}
+			ctx.releaseBuffers()
+			continue
+		}
+		if spanFusible(s.Filter) {
+			spans := evalNodeSpans(s.Filter, ctx, base, (*outBuf)[:0])
+			*outBuf = spans[:0]
+			s.Stats.EncodedFilterSegs++
+			if n := spanRows(spans); n > 0 {
+				s.Stats.RowsOutput += int64(n)
+				f(ctx, spans, nil)
+			}
+			ctx.releaseBuffers()
+			continue
+		}
+		// Legacy strategy path (disjunctions, group-profitable conjunctions,
+		// simulator nodes): flatten the live spans once and run EvalSeg.
+		if cap(*selBuf) < meta.Seg.NumRows {
+			*selBuf = make([]int32, 0, meta.Seg.NumRows)
+		}
+		sel := flattenSpans(base, (*selBuf)[:0])
+		*selBuf = sel[:0]
+		out := s.Filter.EvalSeg(ctx, sel, (*scratchBuf)[:0])
+		*scratchBuf = out[:0]
+		if len(out) > 0 {
+			s.Stats.RowsOutput += int64(len(out))
+			f(ctx, nil, out)
+		}
+		ctx.releaseBuffers()
+	}
+}
+
 // RunBuffer evaluates the filter over the in-memory buffer rows.
 func (s *Scan) RunBuffer(f func(r types.Row) bool) {
 	var seen int
@@ -271,6 +363,38 @@ func (s *Scan) Run(emit func(r types.Row) bool) {
 	if stop {
 		return
 	}
+	if s.fusedEnabled() {
+		s.runSegSel(func(ctx *SegContext, spans []Span, sel []int32) {
+			if stop {
+				return
+			}
+			rows := len(sel)
+			if spans != nil {
+				rows = spanRows(spans)
+			}
+			// Dense selections amortize one DecodeAll per column; sparse
+			// ones seek per row (the adaptive materialization choice of §5).
+			mat := ctx.Materializer(s.Project, rows*4 >= ctx.Meta.Seg.NumRows)
+			if spans != nil {
+				for _, sp := range spans {
+					for i := sp.Start; i < sp.End; i++ {
+						if !emit(mat(int(i))) {
+							stop = true
+							return
+						}
+					}
+				}
+				return
+			}
+			for _, i := range sel {
+				if !emit(mat(int(i))) {
+					stop = true
+					return
+				}
+			}
+		})
+		return
+	}
 	s.RunSegments(func(ctx *SegContext, sel []int32) {
 		if stop {
 			return
@@ -288,9 +412,31 @@ func (s *Scan) Run(emit func(r types.Row) bool) {
 }
 
 // Count returns the number of matching rows without materializing them.
+// With no filter (and fused kernels enabled) the segment side answers from
+// metadata alone — per-segment live-row counts — touching no column vector;
+// only the in-memory write buffer is walked, for MVCC visibility at the
+// view's timestamp.
 func (s *Scan) Count() int64 {
 	var n int64
 	s.RunBuffer(func(types.Row) bool { n++; return true })
+	if s.Filter == nil && s.fusedEnabled() {
+		var segRows int64
+		for _, m := range s.View.Segs {
+			segRows += int64(m.LiveRows())
+		}
+		s.Stats.RowsOutput += segRows
+		return n + segRows
+	}
+	if s.fusedEnabled() {
+		s.runSegSel(func(_ *SegContext, spans []Span, sel []int32) {
+			if spans != nil {
+				n += int64(spanRows(spans))
+				return
+			}
+			n += int64(len(sel))
+		})
+		return n
+	}
 	s.RunSegments(func(_ *SegContext, sel []int32) { n += int64(len(sel)) })
 	return n
 }

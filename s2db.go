@@ -149,6 +149,14 @@ type Config struct {
 	// batching). Commit latency with group commit enabled is bounded by
 	// GroupCommitInterval + ReplicationLatency.
 	GroupCommitInterval time.Duration
+	// DisableFusedKernels turns off the fused encoded-execution kernels —
+	// span-space filter evaluation, single-pass filter→aggregate over
+	// RLE/dictionary runs with late materialization, and metadata-only
+	// COUNT(*) — restoring the unfused three-pass scan pipeline. This is
+	// the FusedKernels ablation knob: fused execution is on by default
+	// (the zero value) and the unfused baseline exists for benchmarks
+	// (`cmd/s2bench -exp kernels`) and ablation studies only.
+	DisableFusedKernels bool
 	// PlanCacheEntries bounds the shared SQL plan cache: lowered plans
 	// keyed by normalized query template (literals stripped to binds), so
 	// repeated query shapes pay lex/parse/lower once and then only
@@ -257,9 +265,10 @@ func Open(cfg Config) (*DB, error) {
 		LogPageBytes:        cfg.LogPageBytes,
 		GroupCommitInterval: cfg.GroupCommitInterval,
 		Table: core.Config{
-			MaxSegmentRows: cfg.MaxSegmentRows,
-			Background:     cfg.BackgroundMaintenance,
-			MergeWorkers:   cfg.MergeWorkers,
+			MaxSegmentRows:      cfg.MaxSegmentRows,
+			Background:          cfg.BackgroundMaintenance,
+			MergeWorkers:        cfg.MergeWorkers,
+			DisableFusedKernels: cfg.DisableFusedKernels,
 		},
 		CachePartitions: cachePartitioner{g: vec},
 	}
@@ -378,7 +387,7 @@ func PointInTimeRestore(cfg Config, catalog map[string]*Schema, target time.Time
 		Partitions:      cfg.Partitions,
 		Blob:            cfg.BlobStore,
 		CacheBytes:      cfg.CacheBytes,
-		Table:           core.Config{MaxSegmentRows: cfg.MaxSegmentRows},
+		Table:           core.Config{MaxSegmentRows: cfg.MaxSegmentRows, DisableFusedKernels: cfg.DisableFusedKernels},
 		CachePartitions: cachePartitioner{g: vec},
 	}
 	if p := vec.Primary(); p != nil {
