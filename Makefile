@@ -1,7 +1,7 @@
 # Tier-1 gate: every change must pass `make check` — build, vet, and the
 # full test suite under the race detector (the parallel fan-out scheduler
 # runs on every query, so -race is part of the gate, not an extra).
-.PHONY: check ci fmtcheck build vet test race racewal bench benchgc benchmerge benchws benchsql benchkernels benchsmoke benchall fuzzsmoke
+.PHONY: check ci fmtcheck build vet test race racewal bench benchgc benchmerge benchws benchsql benchkernels benchtransport benchsmoke benchall fuzzsmoke chaossmoke
 
 check: build vet race
 
@@ -9,7 +9,7 @@ check: build vet race
 # check gate, the focused WAL/replication race gate, a smoke pass of
 # every benchmark harness, and a short fuzz pass of the SQL front-end.
 # Run it locally before pushing.
-ci: fmtcheck check racewal benchsmoke fuzzsmoke
+ci: fmtcheck check racewal chaossmoke benchsmoke fuzzsmoke
 
 # fmtcheck fails (and lists the offenders) if any tracked Go file is not
 # gofmt-clean; it never rewrites files.
@@ -71,6 +71,19 @@ benchsql:
 benchkernels:
 	go run ./cmd/s2bench -exp kernels -out BENCH_PR7.json
 
+# benchtransport regenerates BENCH_PR8.json: sync-replicated commit
+# latency over the in-memory channel transport vs the length-prefixed TCP
+# wire codec, the same workload under seeded chaos (drop/dup/reorder/
+# delay), and partition-recovery time for reconnect-with-resume.
+benchtransport:
+	go run ./cmd/s2bench -exp transport -out BENCH_PR8.json
+
+# chaossmoke is the seeded chaos soak: every fault class against the
+# replication and workspace links under the race detector. Seeded RNG
+# keeps the fault schedule reproducible across runs.
+chaossmoke:
+	go test -race -run 'Chaos' -count=1 ./internal/cluster
+
 # benchsmoke runs every benchmark harness end to end at tiny scale and
 # never rewrites the committed JSON artifacts — the CI guard against
 # harness rot.
@@ -81,13 +94,17 @@ benchsmoke:
 	go run ./cmd/s2bench -exp wscache -smoke
 	go run ./cmd/s2bench -exp sqlplan -smoke
 	go run ./cmd/s2bench -exp kernels -smoke
+	go run ./cmd/s2bench -exp transport -smoke
 
-# fuzzsmoke runs the SQL lexer/parser/normalizer fuzz targets for a few
-# seconds each: FuzzParse must never panic, FuzzNormalize must stay
-# idempotent. Long campaigns are manual; this is the CI regression guard.
+# fuzzsmoke runs the fuzz targets for a few seconds each: FuzzParse
+# must never panic, FuzzNormalize must stay idempotent, and
+# FuzzDecodePage must reject hostile wire frames without panicking or
+# allocating unboundedly. Long campaigns are manual; this is the CI
+# regression guard.
 fuzzsmoke:
 	go test ./internal/sql -run '^$$' -fuzz '^FuzzParse$$' -fuzztime 10s
 	go test ./internal/sql -run '^$$' -fuzz '^FuzzNormalize$$' -fuzztime 10s
+	go test ./internal/wal -run '^$$' -fuzz '^FuzzDecodePage$$' -fuzztime 10s
 
 # benchall runs the full Go benchmark suite (paper tables + ablations).
 benchall:

@@ -1,0 +1,205 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"s2db"
+)
+
+// transportBench measures the cluster transport boundary (PR 8): sync-
+// replicated commit latency over the in-memory channel transport versus
+// the length-prefixed TCP wire codec, the same workload with every chaos
+// fault class enabled, and partition-recovery time for the reconnect-
+// with-resume protocol. Results land in BENCH_PR8.json. smoke caps the
+// measurement window and skips the JSON artifact.
+func transportBench(out string, duration time.Duration, smoke bool) error {
+	if smoke && duration > 150*time.Millisecond {
+		duration = 150 * time.Millisecond
+	}
+	type result struct {
+		Name          string  `json:"name"`
+		Transport     string  `json:"transport"`
+		SyncReplicas  int     `json:"sync_replicas"`
+		Chaos         bool    `json:"chaos"`
+		Commits       int64   `json:"commits"`
+		CommitsPerSec float64 `json:"commits_per_sec"`
+		P50Us         float64 `json:"commit_p50_us"`
+		P99Us         float64 `json:"commit_p99_us"`
+		Reconnects    int     `json:"link_reconnects"`
+		Dropped       int64   `json:"chaos_dropped"`
+		Duplicated    int64   `json:"chaos_duplicated"`
+		Reordered     int64   `json:"chaos_reordered"`
+	}
+
+	schema := s2db.NewSchema(
+		s2db.Column{Name: "id", Type: s2db.Int64T},
+		s2db.Column{Name: "seq", Type: s2db.Int64T},
+	)
+	schema.UniqueKey = []int{0}
+	schema.ShardKey = []int{0}
+
+	measure := func(name, transport string, chaos *s2db.ChaosOptions) (result, error) {
+		res := result{Name: name, Transport: transport, SyncReplicas: 1, Chaos: chaos != nil}
+		cfg := s2db.Config{
+			Partitions: 1, SyncReplicas: 1,
+			Transport: transport,
+			Chaos:     chaos,
+		}
+		if chaos != nil {
+			// Lost frames must heal fast enough that faults cost stalls,
+			// not the whole measurement window.
+			cfg.LinkStallTimeout = 10 * time.Millisecond
+		}
+		db, err := s2db.Open(cfg)
+		if err != nil {
+			return res, err
+		}
+		defer db.Close()
+		if err := db.CreateTable("commits", schema); err != nil {
+			return res, err
+		}
+		var lats []time.Duration
+		deadline := time.Now().Add(duration)
+		start := time.Now()
+		for i := 0; time.Now().Before(deadline); i++ {
+			t0 := time.Now()
+			if err := db.Insert("commits", s2db.Row{s2db.Int(int64(i)), s2db.Int(int64(i))}); err != nil {
+				return res, fmt.Errorf("%s commit %d: %w", name, i, err)
+			}
+			lats = append(lats, time.Since(t0))
+		}
+		elapsed := time.Since(start)
+		if errs := db.Cluster().LinkErrors(); len(errs) != 0 {
+			return res, fmt.Errorf("%s finished with link errors: %v", name, errs)
+		}
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		pct := func(p float64) float64 {
+			if len(lats) == 0 {
+				return 0
+			}
+			i := int(p * float64(len(lats)-1))
+			return float64(lats[i]) / float64(time.Microsecond)
+		}
+		res.Commits = int64(len(lats))
+		res.CommitsPerSec = float64(len(lats)) / elapsed.Seconds()
+		res.P50Us = pct(0.50)
+		res.P99Us = pct(0.99)
+		res.Reconnects = db.Cluster().LinkReconnects()
+		if ct := db.ChaosTransport(); ct != nil {
+			st := ct.Stats()
+			res.Dropped, res.Duplicated, res.Reordered = st.Dropped, st.Duplicated, st.Reordered
+		}
+		return res, nil
+	}
+
+	fmt.Println("== transport: sync-replicated commit latency (PR 8) ==")
+	mem, err := measure("memory", s2db.TransportMemory, nil)
+	if err != nil {
+		return err
+	}
+	tcp, err := measure("tcp", s2db.TransportTCP, nil)
+	if err != nil {
+		return err
+	}
+	chaos, err := measure("tcp-chaos", s2db.TransportTCP, &s2db.ChaosOptions{
+		Seed: 1, Drop: 0.02, Duplicate: 0.02, Reorder: 0.02,
+		DelayMax: 100 * time.Microsecond,
+	})
+	if err != nil {
+		return err
+	}
+	results := []result{mem, tcp, chaos}
+	for _, r := range results {
+		fmt.Printf("  %-10s %8d commits  %10.0f/s  p50 %7.1fus  p99 %7.1fus  reconnects %d\n",
+			r.Name, r.Commits, r.CommitsPerSec, r.P50Us, r.P99Us, r.Reconnects)
+	}
+	overhead := 0.0
+	if mem.P50Us > 0 {
+		overhead = tcp.P50Us / mem.P50Us
+	}
+	fmt.Printf("  tcp/memory p50 overhead: %.2fx\n", overhead)
+
+	// Partition recovery: cut the transport under a blocked sync commit,
+	// heal it, and time how long reconnect-with-resume takes to deliver
+	// durability. Pure partition (no random faults) keeps the number a
+	// clean protocol measurement.
+	recover := func() (recoveryMs float64, reconnects int, err error) {
+		db, err := s2db.Open(s2db.Config{
+			Partitions: 1, SyncReplicas: 1,
+			Transport:        s2db.TransportTCP,
+			Chaos:            &s2db.ChaosOptions{Seed: 2},
+			LinkStallTimeout: 10 * time.Millisecond,
+		})
+		if err != nil {
+			return 0, 0, err
+		}
+		defer db.Close()
+		if err := db.CreateTable("commits", schema); err != nil {
+			return 0, 0, err
+		}
+		for i := 0; i < 10; i++ {
+			if err := db.Insert("commits", s2db.Row{s2db.Int(int64(i)), s2db.Int(0)}); err != nil {
+				return 0, 0, err
+			}
+		}
+		ct := db.ChaosTransport()
+		ct.SetPartitioned(true)
+		done := make(chan error, 1)
+		go func() {
+			err := db.Insert("commits", s2db.Row{s2db.Int(1000), s2db.Int(0)})
+			done <- err
+		}()
+		time.Sleep(50 * time.Millisecond) // commit blocks on the cut link
+		healed := time.Now()
+		ct.SetPartitioned(false)
+		if err := <-done; err != nil {
+			return 0, 0, fmt.Errorf("commit after heal: %w", err)
+		}
+		if errs := db.Cluster().LinkErrors(); len(errs) != 0 {
+			return 0, 0, fmt.Errorf("link errors after heal: %v", errs)
+		}
+		return float64(time.Since(healed)) / float64(time.Millisecond), db.Cluster().LinkReconnects(), nil
+	}
+	recoveryMs, reconnects, err := recover()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  partition recovery: %.1fms to durable after heal (%d reconnects)\n", recoveryMs, reconnects)
+
+	acceptance := map[string]bool{
+		"tcp_converges_without_link_errors":   tcp.Commits > 0,
+		"chaos_faults_injected_and_converged": chaos.Dropped+chaos.Duplicated+chaos.Reordered > 0 && chaos.Commits > 0,
+		"partition_heals_by_reconnect":        reconnects >= 1,
+	}
+	for k, ok := range acceptance {
+		if !ok {
+			return fmt.Errorf("acceptance %q failed", k)
+		}
+	}
+	if smoke {
+		fmt.Println("  smoke: skipping JSON artifact")
+		return nil
+	}
+	doc := map[string]any{
+		"benchmark":            "cluster transport: wire-codec page replication with chaos (PR 8)",
+		"generated":            time.Now().UTC().Format(time.RFC3339),
+		"results":              results,
+		"tcp_over_memory_p50":  overhead,
+		"partition_recovery":   map[string]any{"recovery_ms": recoveryMs, "reconnects": reconnects, "partition_window_ms": 50},
+		"acceptance":           acceptance,
+		"duration_per_variant": duration.String(),
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("  wrote %s\n", out)
+	return nil
+}

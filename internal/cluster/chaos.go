@@ -1,0 +1,187 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"s2db/internal/wal"
+)
+
+// ChaosConfig parameterizes transport fault injection. All probabilities
+// are per-frame in [0,1]; the RNG is seeded so a failing run reproduces.
+type ChaosConfig struct {
+	// Seed seeds the fault RNG (zero means 1).
+	Seed int64
+	// Drop is the probability a page frame is silently lost in transit.
+	Drop float64
+	// Duplicate is the probability a frame is delivered twice.
+	Duplicate float64
+	// Reorder is the probability a page frame is held back and delivered
+	// after the next page instead of before it.
+	Reorder float64
+	// DelayMax adds a uniform extra delay in [0, DelayMax) per frame.
+	DelayMax time.Duration
+	// AckDrop is the probability an ack frame is lost; zero reuses Drop.
+	AckDrop float64
+}
+
+// ChaosStats counts injected faults since the transport was created.
+type ChaosStats struct {
+	Dropped, Duplicated, Reordered int64
+}
+
+// ChaosTransport wraps any Transport with seeded fault injection:
+// drop/delay/reorder/duplicate at frame granularity, plus an on/off
+// network partition that silently eats every frame and fails new
+// sessions. Links survive all of it through reconnect-with-resume: pages
+// are idempotent to re-deliver (the receiver trims against its applied
+// watermark) and acks are cumulative, so every fault heals once a fresh
+// session announces the replica's position.
+type ChaosTransport struct {
+	inner Transport
+	cfg   ChaosConfig
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	partitioned atomic.Bool
+
+	dropped    atomic.Int64
+	duplicated atomic.Int64
+	reordered  atomic.Int64
+}
+
+// NewChaosTransport wraps inner with fault injection.
+func NewChaosTransport(inner Transport, cfg ChaosConfig) *ChaosTransport {
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.AckDrop == 0 {
+		cfg.AckDrop = cfg.Drop
+	}
+	return &ChaosTransport{inner: inner, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// SetPartitioned toggles a full network partition: while set, every frame
+// is dropped and Open fails, so in-flight commits stall until the
+// partition heals and the link reconnects.
+func (t *ChaosTransport) SetPartitioned(v bool) { t.partitioned.Store(v) }
+
+// Partitioned reports whether the network is currently partitioned.
+func (t *ChaosTransport) Partitioned() bool { return t.partitioned.Load() }
+
+// Stats returns fault counts since creation.
+func (t *ChaosTransport) Stats() ChaosStats {
+	return ChaosStats{
+		Dropped:    t.dropped.Load(),
+		Duplicated: t.duplicated.Load(),
+		Reordered:  t.reordered.Load(),
+	}
+}
+
+// Open establishes a session on the inner transport with both halves
+// wrapped, so faults hit page frames on the master side and ack frames on
+// the replica side.
+func (t *ChaosTransport) Open() (Conn, Conn, error) {
+	if t.partitioned.Load() {
+		return nil, nil, fmt.Errorf("cluster: chaos: network partitioned")
+	}
+	m, r, err := t.inner.Open()
+	if err != nil {
+		return nil, nil, err
+	}
+	return &chaosConn{Conn: m, t: t}, &chaosConn{Conn: r, t: t}, nil
+}
+
+// Close closes the inner transport.
+func (t *ChaosTransport) Close() error { return t.inner.Close() }
+
+func (t *ChaosTransport) roll(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	t.mu.Lock()
+	v := t.rng.Float64()
+	t.mu.Unlock()
+	return v < p
+}
+
+func (t *ChaosTransport) extraDelay() time.Duration {
+	if t.cfg.DelayMax <= 0 {
+		return 0
+	}
+	t.mu.Lock()
+	d := time.Duration(t.rng.Int63n(int64(t.cfg.DelayMax)))
+	t.mu.Unlock()
+	return d
+}
+
+// chaosConn injects faults on the send side of either half. A conn has a
+// single sender goroutine, so the held reorder slot needs no contention
+// handling beyond the mutex.
+type chaosConn struct {
+	Conn
+	t *ChaosTransport
+
+	mu   sync.Mutex
+	held *wal.Page // page withheld by a reorder fault
+}
+
+func (c *chaosConn) SendPage(pg wal.Page) error {
+	t := c.t
+	if t.partitioned.Load() || t.roll(t.cfg.Drop) {
+		t.dropped.Add(1)
+		return nil // the link's stall detector notices and reconnects
+	}
+	if d := t.extraDelay(); d > 0 {
+		time.Sleep(d)
+	}
+	c.mu.Lock()
+	held := c.held
+	c.held = nil
+	if held == nil && t.roll(t.cfg.Reorder) {
+		p := pg
+		c.held = &p
+		c.mu.Unlock()
+		t.reordered.Add(1)
+		return nil // delivered (out of order) with the next page
+	}
+	c.mu.Unlock()
+	if err := c.Conn.SendPage(pg); err != nil {
+		return err
+	}
+	if t.roll(t.cfg.Duplicate) {
+		t.duplicated.Add(1)
+		if err := c.Conn.SendPage(pg); err != nil {
+			return err
+		}
+	}
+	if held != nil {
+		// The withheld page lands after its successor: the receiver sees a
+		// gap, tears the session down and resumes from its applied LSN.
+		return c.Conn.SendPage(*held)
+	}
+	return nil
+}
+
+func (c *chaosConn) SendAck(lsn uint64) error {
+	t := c.t
+	if t.partitioned.Load() || t.roll(t.cfg.AckDrop) {
+		t.dropped.Add(1)
+		return nil // safe: acks are cumulative and re-announced on reconnect
+	}
+	if d := t.extraDelay(); d > 0 {
+		time.Sleep(d)
+	}
+	if err := c.Conn.SendAck(lsn); err != nil {
+		return err
+	}
+	if t.roll(t.cfg.Duplicate) {
+		t.duplicated.Add(1)
+		return c.Conn.SendAck(lsn)
+	}
+	return nil
+}

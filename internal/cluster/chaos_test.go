@@ -1,0 +1,156 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"s2db/internal/blob"
+	"s2db/internal/core"
+	"s2db/internal/types"
+)
+
+// chaosTCP builds a loopback TCP transport wrapped in seeded chaos and
+// returns the wrapper so tests can flip partitions and read fault stats.
+func chaosTCP(t *testing.T, cfg ChaosConfig) *ChaosTransport {
+	t.Helper()
+	tr, err := NewTCPTransport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewChaosTransport(tr, cfg)
+}
+
+// TestChaosSyncReplicationConverges runs sequential sync-replicated commits
+// over TCP with every fault class enabled. Reconnect-with-resume must make
+// every commit durable; the faults show up only as recovery work, never as
+// link errors or lost rows.
+func TestChaosSyncReplicationConverges(t *testing.T) {
+	chaos := chaosTCP(t, ChaosConfig{
+		Seed: 11, Drop: 0.05, Duplicate: 0.05, Reorder: 0.05,
+		DelayMax: 200 * time.Microsecond,
+	})
+	c := newTestCluster(t, Config{
+		Partitions: 1, SyncReplicas: 1,
+		Transport:        chaos,
+		LinkStallTimeout: 20 * time.Millisecond,
+	})
+	const n = 150
+	for i := 0; i < n; i++ {
+		if _, err := c.Insert("items", []types.Row{row(i, i, "c")}, core.InsertOptions{}); err != nil {
+			t.Fatalf("insert %d under chaos: %v", i, err)
+		}
+	}
+	views, _ := c.Views("items")
+	if got := countAll(t, views); got != n {
+		t.Fatalf("rows after chaos workload = %d, want %d", got, n)
+	}
+	if errs := c.LinkErrors(); len(errs) != 0 {
+		t.Fatalf("link errors after chaos workload: %v", errs)
+	}
+	st := chaos.Stats()
+	if st.Dropped+st.Duplicated+st.Reordered == 0 {
+		t.Fatal("chaos transport injected no faults; the test exercised nothing")
+	}
+	t.Logf("chaos faults: dropped=%d duplicated=%d reordered=%d reconnects=%d",
+		st.Dropped, st.Duplicated, st.Reordered, c.LinkReconnects())
+}
+
+// TestChaosPartitionHealsByReconnect cuts the transport mid-workload. A
+// sync commit issued during the partition must block (not fail), then
+// complete once the partition heals, with the link reporting at least one
+// reconnect and no terminal error.
+func TestChaosPartitionHealsByReconnect(t *testing.T) {
+	chaos := chaosTCP(t, ChaosConfig{Seed: 3})
+	c := newTestCluster(t, Config{
+		Partitions: 1, SyncReplicas: 1,
+		Transport:        chaos,
+		LinkStallTimeout: 10 * time.Millisecond,
+	})
+	for i := 0; i < 10; i++ {
+		if _, err := c.Insert("items", []types.Row{row(i, i, "pre")}, core.InsertOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	chaos.SetPartitioned(true)
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Insert("items", []types.Row{row(500, 500, "cut")}, core.InsertOptions{})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("insert finished during partition (err=%v); durability must wait for the replica", err)
+	case <-time.After(60 * time.Millisecond):
+	}
+	chaos.SetPartitioned(false)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("insert after partition healed: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("insert never completed after the partition healed")
+	}
+	if c.LinkReconnects() == 0 {
+		t.Fatal("link healed without reconnecting; partition was not exercised")
+	}
+	if errs := c.LinkErrors(); len(errs) != 0 {
+		t.Fatalf("link errors after heal: %v", errs)
+	}
+	r, ok, _ := c.GetByUnique("items", []types.Value{types.NewInt(500)})
+	if !ok || r[1].I != 500 {
+		t.Fatal("write issued during partition lost")
+	}
+}
+
+// TestChaosFailoverSuite and TestChaosPITRSuite re-run the stock
+// distributed suites, assertions unmodified, with replication riding a
+// faulty TCP transport.
+func TestChaosFailoverSuite(t *testing.T) { runFailoverSuite(t, withChaosTCP(t, 7)) }
+
+func TestChaosPITRSuite(t *testing.T) {
+	runPITRSuite(t, func(cfg *Config) {
+		withChaosTCP(t, 9)(cfg)
+		// The stock PITR suite has no replicas; add one so the workload's
+		// durability actually crosses the chaotic transport.
+		cfg.SyncReplicas = 1
+	})
+}
+
+// TestChaosWorkspaceConverges points a read-only workspace at a chaotic
+// transport: its async link must converge to zero lag through reconnects
+// alone (no slow-consumer detach, no blob resync required).
+func TestChaosWorkspaceConverges(t *testing.T) {
+	chaos := chaosTCP(t, ChaosConfig{
+		Seed: 5, Drop: 0.05, Duplicate: 0.05, Reorder: 0.05,
+		DelayMax: 100 * time.Microsecond,
+	})
+	c := newTestCluster(t, Config{
+		Partitions: 1, Blob: blob.NewMemory(),
+		Transport:        chaos,
+		LinkStallTimeout: 15 * time.Millisecond,
+	})
+	ws, err := c.CreateWorkspace("analytics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 60
+	for i := 0; i < n; i++ {
+		if _, err := c.Insert("items", []types.Row{row(i, i*2, "w")}, core.InsertOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.WaitCaughtUp(ws, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	views, err := ws.Views("items")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := countAll(t, views); got != n {
+		t.Fatalf("workspace rows under chaos = %d, want %d", got, n)
+	}
+	if lag := ws.Lag(); lag != 0 {
+		t.Fatalf("workspace lag after convergence = %d", lag)
+	}
+}

@@ -58,6 +58,18 @@ type Config struct {
 	// buffer before it is detached as a slow consumer. Zero uses the WAL
 	// default (256MiB).
 	SubscriptionBudget int
+	// Transport is the boundary replication crosses between master and
+	// replica partitions. Nil uses the in-process memory transport (the
+	// zero-copy channel path, the seed behavior); NewTCPTransport routes
+	// every page through the wire codec over loopback sockets, and
+	// NewChaosTransport wraps either with seeded fault injection. The
+	// cluster owns the transport and closes it on Close.
+	Transport Transport
+	// LinkStallTimeout bounds how long a replication link tolerates
+	// shipped pages with no apply/ack progress before tearing its session
+	// down and reconnecting from the replica's applied position. Zero uses
+	// DefaultLinkStallTimeout.
+	LinkStallTimeout time.Duration
 }
 
 // CachePartitioner hands out per-workspace decoded-vector cache handles.
@@ -91,6 +103,9 @@ func (c Config) withDefaults() Config {
 	if c.Table.DecodedCache == nil {
 		c.Table.DecodedCache = c.DecodedCache
 	}
+	if c.Transport == nil {
+		c.Transport = NewMemoryTransport()
+	}
 	return c
 }
 
@@ -98,6 +113,8 @@ func (c Config) withDefaults() Config {
 // staging and any attached read-only workspaces.
 type Cluster struct {
 	cfg Config
+
+	transport Transport
 
 	mu        sync.RWMutex
 	catalog   map[string]*types.Schema
@@ -118,6 +135,7 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	c := &Cluster{
 		cfg:       cfg,
+		transport: cfg.Transport,
 		catalog:   make(map[string]*types.Schema),
 		workspace: make(map[string]*Workspace),
 	}
@@ -130,7 +148,7 @@ func New(cfg Config) (*Cluster, error) {
 		var links []*Link
 		for r := 0; r < cfg.SyncReplicas; r++ {
 			rep := c.newReplicaPartition(i, nil)
-			link := StartLink(p, rep, true, cfg.ReplicationLatency, c.replicaID())
+			link := c.startLinkFrom(p, rep, true, rep.Log().Head())
 			reps = append(reps, rep)
 			links = append(links, link)
 		}
@@ -152,6 +170,13 @@ func (c *Cluster) blobPrefix(part int) string {
 func (c *Cluster) replicaID() int {
 	c.nextReplicaID++
 	return c.nextReplicaID
+}
+
+// startLinkFrom starts a replication link over the cluster's transport
+// with the configured latency and stall timeout.
+func (c *Cluster) startLinkFrom(master, replica *Partition, syncAck bool, from uint64) *Link {
+	return StartLinkFrom(c.transport, master, replica, syncAck,
+		c.cfg.ReplicationLatency, c.cfg.LinkStallTimeout, c.replicaID(), from)
 }
 
 // newReplicaPartition creates a replica with background maintenance
@@ -479,7 +504,7 @@ func (c *Cluster) FailMaster(pi int) error {
 		// A replica can only resume if it is not ahead of the new master
 		// and the new master still has the records it needs.
 		if r.Applied() <= promoted.Log().Head() && r.Applied() >= promoted.Log().Base() {
-			newLinks = append(newLinks, StartLinkFrom(promoted, r, true, c.cfg.ReplicationLatency, c.replicaID(), r.Applied()))
+			newLinks = append(newLinks, c.startLinkFrom(promoted, r, true, r.Applied()))
 			newReps = append(newReps, r)
 		}
 	}
@@ -518,6 +543,53 @@ func (c *Cluster) ReplicationLagDetail() (records, pages, bytes int) {
 	return records, pages, bytes
 }
 
+// LinkErrors reports every terminal replication-link error in the cluster
+// (HA and workspace links), tagged with its location. A sync link that
+// acked a page and then failed to apply it shows up here: the master's
+// durable watermark may already cover LSNs that replica will never serve,
+// so a dead link is a durability-margin loss the operator must see, not a
+// silent degradation.
+func (c *Cluster) LinkErrors() []error {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var errs []error
+	for pi, links := range c.links {
+		for _, l := range links {
+			if err := l.Err(); err != nil {
+				errs = append(errs, fmt.Errorf("partition %d replica link %d: %w", pi, l.id, err))
+			}
+		}
+	}
+	for name, ws := range c.workspace {
+		for pi, l := range ws.links {
+			if err := l.Err(); err != nil {
+				errs = append(errs, fmt.Errorf("workspace %s partition %d: %w", name, pi, err))
+			}
+		}
+	}
+	return errs
+}
+
+// LinkReconnects totals session reconnects across every live link —
+// under chaos this counts healed faults; on a healthy transport it stays
+// zero.
+func (c *Cluster) LinkReconnects() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	total := 0
+	for _, links := range c.links {
+		for _, l := range links {
+			total += l.Reconnects()
+		}
+	}
+	for _, ws := range c.workspace {
+		for _, l := range ws.links {
+			total += l.Reconnects()
+		}
+	}
+	return total
+}
+
 // Close stops everything.
 func (c *Cluster) Close() {
 	c.mu.Lock()
@@ -540,6 +612,9 @@ func (c *Cluster) Close() {
 		for _, p := range reps {
 			p.Close()
 		}
+	}
+	if c.transport != nil {
+		c.transport.Close()
 	}
 }
 

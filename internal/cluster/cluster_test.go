@@ -141,7 +141,19 @@ func TestUpdateDeleteFanout(t *testing.T) {
 }
 
 func TestFailoverPromotesReplica(t *testing.T) {
-	c := newTestCluster(t, Config{Partitions: 1, SyncReplicas: 2})
+	runFailoverSuite(t, nil)
+}
+
+// runFailoverSuite is the failover scenario, parameterized over transport
+// and chaos knobs (mutate edits the base config); its assertions are the
+// same for every transport.
+func runFailoverSuite(t *testing.T, mutate func(*Config)) {
+	t.Helper()
+	cfg := Config{Partitions: 1, SyncReplicas: 2}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	c := newTestCluster(t, cfg)
 	loadItems(t, c, 50)
 	// Let replicas catch up, then fail the master.
 	head := c.Master(0).Log().Head()
@@ -272,12 +284,24 @@ func TestWorkspaceProvisioningAndIsolation(t *testing.T) {
 }
 
 func TestPITRRestoresPastState(t *testing.T) {
+	runPITRSuite(t, nil)
+}
+
+// runPITRSuite is the point-in-time-restore scenario, parameterized over
+// transport and chaos knobs for the primary cluster (the restored cluster
+// replays from blob and has no links); assertions are transport-agnostic.
+func runPITRSuite(t *testing.T, mutate func(*Config)) {
+	t.Helper()
 	store := blob.NewMemory()
-	c := newTestCluster(t, Config{
+	cfg := Config{
 		Partitions: 2, Blob: store,
 		Table:        core.Config{MaxSegmentRows: 16},
 		ChunkRecords: 4, SnapshotEvery: 8,
-	})
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	c := newTestCluster(t, cfg)
 	loadItems(t, c, 40)
 	// Capture "the past" as a wall-clock instant (PITR's target domain).
 	pastTime := time.Now()

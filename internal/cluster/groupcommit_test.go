@@ -108,14 +108,26 @@ func TestFailoverWithGroupCommitPages(t *testing.T) {
 // produce byte-identical states: page boundaries are a transport detail,
 // not a semantic one.
 func pitrStateWith(t *testing.T, interval time.Duration, pageBytes int) [][]byte {
+	return pitrStateUnder(t, interval, pageBytes, nil)
+}
+
+// pitrStateUnder is pitrStateWith with transport/chaos knobs applied to
+// the primary cluster (mutate edits the base config): the restored state
+// must be byte-identical no matter what the workload's replication rode
+// over, because durability and staging consume the same master log.
+func pitrStateUnder(t *testing.T, interval time.Duration, pageBytes int, mutate func(*Config)) [][]byte {
 	t.Helper()
 	store := blob.NewMemory()
-	c := newTestCluster(t, Config{
+	cfg := Config{
 		Name: "eqv", Partitions: 2, Blob: store,
 		ChunkRecords: 8, SnapshotEvery: 1 << 30,
 		GroupCommitInterval: interval,
 		LogPageBytes:        pageBytes,
-	})
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	c := newTestCluster(t, cfg)
 	// One row per Insert keeps the per-partition record sequence (and so
 	// the commit-timestamp sequence) identical across configurations.
 	for i := 0; i < 40; i++ {
@@ -205,13 +217,25 @@ func TestPITRPageAlignedReplayEquivalence(t *testing.T) {
 // tiny subscription budget until the WAL detaches it, then checks that
 // WaitCaughtUp heals the workspace from blob-staged log chunks.
 func TestWorkspaceSlowConsumerResyncsFromBlob(t *testing.T) {
+	runSlowConsumerResyncSuite(t, nil)
+}
+
+// runSlowConsumerResyncSuite is the workspace slow-consumer resync
+// scenario, parameterized over transport knobs; assertions are the same
+// for every transport.
+func runSlowConsumerResyncSuite(t *testing.T, mutate func(*Config)) {
+	t.Helper()
 	store := blob.NewMemory()
-	c := newTestCluster(t, Config{
+	cfg := Config{
 		Partitions: 1, Blob: store,
 		ChunkRecords: 8, SnapshotEvery: 1 << 30,
 		ReplicationLatency: 2 * time.Millisecond,
 		SubscriptionBudget: 256,
-	})
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	c := newTestCluster(t, cfg)
 	ws, err := c.CreateWorkspace("analytics")
 	if err != nil {
 		t.Fatal(err)

@@ -177,7 +177,12 @@ func (p *Partition) setMinSyncers(n int) {
 // Ack records a sync replica's received-LSN and advances the durable
 // watermark ("data is considered committed when it is replicated in-memory
 // to at least one replica partition", §3). Links ack once per shipped page,
-// so one recompute covers every record in the page.
+// so one recompute covers every record in the page. An ack means the page
+// reached the replica process over the transport — not that it was applied
+// or persisted — and it is never withdrawn: if the replica later fails to
+// apply, the watermark may exceed what that replica can serve, which is
+// why apply failures kill the link loudly (Link.Err, Cluster.LinkErrors)
+// instead of quietly shrinking the durability margin.
 func (p *Partition) Ack(replicaID int, lsn uint64) {
 	p.durableMu.Lock()
 	if lsn > p.acks[replicaID] {

@@ -1,6 +1,8 @@
 package cluster
 
 import (
+	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -8,86 +10,386 @@ import (
 	"s2db/internal/wal"
 )
 
+// ErrLinkDown reports a replication link that gave up: either the master
+// truncated past the replica's position so no subscription can resume, or
+// the link exhausted its reconnect budget without making progress. The
+// owner must rebuild the replica out of band — workspaces heal it by
+// replaying blob-staged log chunks (resyncLink), exactly like a slow-
+// consumer detach.
+var ErrLinkDown = errors.New("cluster: replication link down")
+
+const (
+	// DefaultLinkStallTimeout is how long a link tolerates shipped-but-
+	// unacknowledged pages with no progress before it assumes the session
+	// lost a frame and reconnects (Config.LinkStallTimeout overrides).
+	DefaultLinkStallTimeout = 500 * time.Millisecond
+
+	linkBackoffMin = time.Millisecond
+	linkBackoffMax = 50 * time.Millisecond
+	// maxLinkAttempts bounds consecutive reconnects with zero apply
+	// progress before the link turns terminally ErrLinkDown. With capped
+	// backoff this rides out partitions of a couple of seconds.
+	maxLinkAttempts = 40
+)
+
+// fatalLinkError marks a session error as terminal: reconnecting cannot
+// help (slow-consumer detach, apply failure). Everything else a session
+// reports is transient and handled by reconnect-with-resume.
+type fatalLinkError struct{ err error }
+
+func (e fatalLinkError) Error() string { return e.err.Error() }
+func (e fatalLinkError) Unwrap() error { return e.err }
+
 // Link streams one master partition's log to a replica partition in whole
-// pages: a sealed page ships as soon as the master seals it — before its
-// transactions "commit" in any global sense — which is the out-of-order/
-// early replication property that keeps commit latency low and predictable
-// (§3). Each page pays the injected hop latency once and sync links ack
-// once per page (in-memory durability) before applying, so commit cost
-// amortizes across every writer whose records share the page.
+// pages over a Transport session: a sealed page ships as soon as the
+// master seals it — before its transactions "commit" in any global sense —
+// which is the out-of-order/early replication property that keeps commit
+// latency low and predictable (§3). Each page pays the injected hop
+// latency once and sync links ack once per page (in-memory durability)
+// before applying, so commit cost amortizes across every writer whose
+// records share the page.
+//
+// A link survives transport faults: if its session errors, or shipped
+// pages stop making progress (a lost frame, a partition), it tears the
+// session down and reconnects with bounded exponential backoff, resuming
+// from the replica's applied LSN. Duplicate deliveries are trimmed against
+// that watermark and re-acked; gaps force a resume. Only a slow-consumer
+// detach, an apply failure or reconnect exhaustion is terminal.
 type Link struct {
 	master  *Partition
 	replica *Partition
 	syncAck bool
 	latency time.Duration
+	stall   time.Duration
 	id      int
+	tr      Transport
 
-	sub  *wal.Subscription
-	stop chan struct{}
-	wg   sync.WaitGroup
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
 
-	applyErr atomic.Value // error
+	mu         sync.Mutex
+	sub        *wal.Subscription // live session's subscription, for lag reporting
+	err        error             // first terminal error
+	reconnects int
+
+	sent  atomic.Uint64 // highest EndLSN handed to the transport
+	acked atomic.Uint64 // highest ack heard back from the replica side
 }
 
-// StartLink subscribes the replica from LSN 0.
-func StartLink(master, replica *Partition, syncAck bool, latency time.Duration, id int) *Link {
-	return StartLinkFrom(master, replica, syncAck, latency, id, replica.Log().Head())
+// StartLink subscribes the replica from its own log head.
+func StartLink(tr Transport, master, replica *Partition, syncAck bool, latency, stall time.Duration, id int) *Link {
+	return StartLinkFrom(tr, master, replica, syncAck, latency, stall, id, replica.Log().Head())
 }
 
 // StartLinkFrom subscribes the replica from a specific LSN (resuming after
-// restore or failover).
-func StartLinkFrom(master, replica *Partition, syncAck bool, latency time.Duration, id int, from uint64) *Link {
-	sub, err := master.Log().Subscribe(from)
-	if err != nil {
-		// The master has truncated past `from`; the caller must restore
-		// the replica from blob first. Surface via a dead link.
-		l := &Link{master: master, replica: replica, id: id, stop: make(chan struct{})}
-		l.applyErr.Store(err)
-		return l
+// restore or failover). A from below the master's retained log returns a
+// dead link whose Err wraps ErrLinkDown; the caller must restore the
+// replica from blob first.
+func StartLinkFrom(tr Transport, master, replica *Partition, syncAck bool, latency, stall time.Duration, id int, from uint64) *Link {
+	if stall <= 0 {
+		stall = DefaultLinkStallTimeout
 	}
 	l := &Link{
 		master: master, replica: replica, syncAck: syncAck,
-		latency: latency, id: id, sub: sub,
+		latency: latency, stall: stall, id: id, tr: tr,
 		stop: make(chan struct{}),
 	}
+	sub, err := master.Log().Subscribe(from)
+	if err != nil {
+		l.err = fmt.Errorf("%w: %v", ErrLinkDown, err)
+		return l
+	}
+	l.setSub(sub)
 	l.wg.Add(1)
-	go l.run()
+	go l.run(sub)
 	return l
 }
 
-func (l *Link) run() {
+// run is the link supervisor: it runs sessions until one ends cleanly
+// (Stop) or fatally, reconnecting after transient failures with bounded
+// backoff and resuming from the replica's applied position.
+func (l *Link) run(sub *wal.Subscription) {
 	defer l.wg.Done()
+	backoff := linkBackoffMin
+	attempts := 0
 	for {
-		pg, ok := l.sub.NextPage() // Stop cancels the subscription, waking us
+		if sub == nil {
+			from := l.replica.Applied()
+			s, err := l.master.Log().Subscribe(from)
+			if err != nil {
+				// The master truncated past the resume point while the
+				// session was down; only a blob resync can rebuild it.
+				l.fail(fmt.Errorf("%w: resubscribe at %d: %v", ErrLinkDown, from, err))
+				return
+			}
+			sub = s
+			l.setSub(sub)
+		}
+		before := l.replica.Applied()
+		err := l.runSession(sub)
+		sub = nil
+		l.setSub(nil)
+		if err == nil {
+			return // stopped
+		}
+		var fatal fatalLinkError
+		if errors.As(err, &fatal) {
+			l.fail(fatal.err)
+			return
+		}
+		if l.replica.Applied() > before {
+			// The session moved the replica forward; a fault now is fresh,
+			// not the same one persisting. Reset the budget.
+			attempts = 0
+			backoff = linkBackoffMin
+		}
+		attempts++
+		if attempts > maxLinkAttempts {
+			l.fail(fmt.Errorf("%w: no progress after %d reconnects: %v", ErrLinkDown, attempts-1, err))
+			return
+		}
+		l.mu.Lock()
+		l.reconnects++
+		l.mu.Unlock()
+		if !l.sleepStop(backoff) {
+			return
+		}
+		backoff *= 2
+		if backoff > linkBackoffMax {
+			backoff = linkBackoffMax
+		}
+	}
+}
+
+// runSession opens one transport session and pumps it with three workers:
+// a sender (log pages out), an ack loop (replica acks back into the
+// master's durability watermark) and a receiver (apply pages, emit acks).
+// It returns nil only when the link is stopping; any other outcome is an
+// error for the supervisor to classify.
+func (l *Link) runSession(sub *wal.Subscription) error {
+	mc, rc, err := l.tr.Open()
+	if err != nil {
+		sub.Cancel()
+		return err
+	}
+	errCh := make(chan error, 3)
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go l.sender(&wg, sub, mc, errCh)
+	go l.ackLoop(&wg, mc, errCh)
+	go l.receiver(&wg, rc, errCh)
+
+	var sessionErr error
+	stopped := false
+	tick := l.stall / 2
+	if tick <= 0 {
+		tick = time.Millisecond
+	}
+	ticker := time.NewTicker(tick)
+	lastProgress := l.progress()
+	lastChange := time.Now()
+supervise:
+	for {
+		select {
+		case <-l.stop:
+			stopped = true
+			break supervise
+		case sessionErr = <-errCh:
+			break supervise
+		case <-ticker.C:
+			p := l.progress()
+			if p != lastProgress {
+				lastProgress, lastChange = p, time.Now()
+				continue
+			}
+			if l.sent.Load() > p && time.Since(lastChange) >= l.stall {
+				// Pages shipped but neither applied nor acked for a full
+				// stall window: assume the session lost a frame.
+				sessionErr = fmt.Errorf("cluster: link %d stalled: shipped %d, progress %d", l.id, l.sent.Load(), p)
+				break supervise
+			}
+		}
+	}
+	ticker.Stop()
+	sub.Cancel()
+	mc.Close()
+	rc.Close()
+	wg.Wait()
+	// Prefer a fatal worker error over whatever tore the session down —
+	// an apply failure must not be masked by the conn-closed errors the
+	// teardown itself provokes.
+	for drained := false; !drained; {
+		select {
+		case err := <-errCh:
+			var fatal fatalLinkError
+			if errors.As(err, &fatal) {
+				sessionErr = err
+			} else if sessionErr == nil {
+				sessionErr = err
+			}
+		default:
+			drained = true
+		}
+	}
+	if stopped {
+		var fatal fatalLinkError
+		if errors.As(sessionErr, &fatal) {
+			return sessionErr // surface even when racing Stop
+		}
+		return nil
+	}
+	return sessionErr
+}
+
+// sender pumps sealed pages from the subscription into the session,
+// paying the configured hop latency once per page.
+func (l *Link) sender(wg *sync.WaitGroup, sub *wal.Subscription, mc Conn, errCh chan<- error) {
+	defer wg.Done()
+	for {
+		pg, ok := sub.NextPage()
 		if !ok {
-			// A budget detachment (slow consumer) is a terminal link error;
-			// the owner must re-attach after catching up from blob chunks.
-			if err := l.sub.Err(); err != nil {
-				l.applyErr.Store(err)
+			// A budget detachment (slow consumer) is terminal; the owner
+			// must re-attach after catching up from blob chunks. A plain
+			// cancellation is session teardown, not an error.
+			if err := sub.Err(); err != nil {
+				errCh <- fatalLinkError{err}
 			}
 			return
 		}
-		select {
-		case <-l.stop:
-			return
-		default:
-		}
 		if l.latency > 0 {
-			time.Sleep(l.latency) // one hop for the whole page
+			// One hop for the whole page — stop-aware, so Stop() never
+			// waits out the backlog's worth of injected latency.
+			if !l.sleepStop(l.latency) {
+				return
+			}
 		}
-		// Ack on receipt: the page is now "replicated in-memory" (§3).
+		if err := mc.SendPage(pg); err != nil {
+			errCh <- err
+			return
+		}
+		if pg.EndLSN > l.sent.Load() {
+			l.sent.Store(pg.EndLSN)
+		}
+	}
+}
+
+// ackLoop feeds replica acks into the master's durability watermark. Only
+// sync links ack the master (§2); async workspace links still track the
+// watermark for stall detection.
+func (l *Link) ackLoop(wg *sync.WaitGroup, mc Conn, errCh chan<- error) {
+	defer wg.Done()
+	for {
+		lsn, err := mc.RecvAck()
+		if err != nil {
+			errCh <- err
+			return
+		}
+		if lsn > l.acked.Load() {
+			l.acked.Store(lsn)
+		}
 		if l.syncAck {
-			l.master.Ack(l.id, pg.EndLSN)
+			l.master.Ack(l.id, lsn)
+		}
+	}
+}
+
+// receiver applies incoming pages to the replica and emits acks.
+func (l *Link) receiver(wg *sync.WaitGroup, rc Conn, errCh chan<- error) {
+	defer wg.Done()
+	// Announce the replica's position first: acks are cumulative, so a
+	// fresh session's opening ack repairs any ack frames the previous
+	// session lost (otherwise a dropped tail ack could stall commits
+	// forever even though the replica applied everything).
+	if err := rc.SendAck(l.replica.Applied()); err != nil {
+		errCh <- err
+		return
+	}
+	for {
+		pg, err := rc.RecvPage()
+		if err != nil {
+			errCh <- err
+			return
+		}
+		applied := l.replica.Applied()
+		if pg.EndLSN <= applied {
+			// Duplicate delivery (chaos, or resume overlap): apply nothing,
+			// but re-ack so the master's watermark still hears about it.
+			if err := rc.SendAck(applied); err != nil {
+				errCh <- err
+				return
+			}
+			continue
+		}
+		if pg.FirstLSN > applied {
+			// A gap: an earlier page was lost in transit. Transient — the
+			// supervisor reconnects and resumes from the applied watermark.
+			errCh <- fmt.Errorf("cluster: link %d: page [%d,%d) arrived with replica at %d", l.id, pg.FirstLSN, pg.EndLSN, applied)
+			return
+		}
+		if pg.FirstLSN < applied {
+			pg.Records = pg.Records[applied-pg.FirstLSN:]
+			pg.FirstLSN = applied
+		}
+		// Ack on receipt: the page is now "replicated in-memory" (§3) —
+		// received by the replica process, not yet applied and not on disk
+		// anywhere, which is exactly the durability a sync commit buys.
+		// If the apply below fails, the master's durable watermark may
+		// already cover LSNs this replica will never serve; that is why an
+		// apply failure is terminal and surfaces through Err() and
+		// Cluster.LinkErrors() instead of being swallowed.
+		if err := rc.SendAck(pg.EndLSN); err != nil {
+			errCh <- err
+			return
 		}
 		if err := l.replica.ApplyPage(pg); err != nil {
-			l.applyErr.Store(err)
+			errCh <- fatalLinkError{err}
 			return
 		}
 	}
+}
+
+// progress is the replica's acknowledged forward motion as the supervisor
+// sees it: the lower of applied and acked, so a broken ack path counts as
+// a stall even while applies continue.
+func (l *Link) progress() uint64 {
+	applied := l.replica.Applied()
+	if acked := l.acked.Load(); acked < applied {
+		return acked
+	}
+	return applied
+}
+
+// sleepStop sleeps d unless the link is stopped first.
+func (l *Link) sleepStop(d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-l.stop:
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+func (l *Link) setSub(s *wal.Subscription) {
+	l.mu.Lock()
+	l.sub = s
+	l.mu.Unlock()
+}
+
+func (l *Link) fail(err error) {
+	l.mu.Lock()
+	if l.err == nil {
+		l.err = err
+	}
+	l.mu.Unlock()
 }
 
 // Lag returns the number of records shipped but not yet consumed.
 func (l *Link) Lag() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	if l.sub == nil {
 		return 0
 	}
@@ -96,6 +398,8 @@ func (l *Link) Lag() int {
 
 // LagBytes returns the accounting bytes shipped but not yet consumed.
 func (l *Link) LagBytes() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	if l.sub == nil {
 		return 0
 	}
@@ -104,30 +408,33 @@ func (l *Link) LagBytes() int {
 
 // LagPages returns the pages shipped but not yet consumed.
 func (l *Link) LagPages() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	if l.sub == nil {
 		return 0
 	}
 	return l.sub.LagPages()
 }
 
-// Err returns a terminal apply error, if any.
+// Err returns the link's terminal error, if any: wal.ErrSlowConsumer
+// after a budget detach, ErrLinkDown after reconnect exhaustion or a lost
+// resume point, or the apply error that killed the replica.
 func (l *Link) Err() error {
-	if v := l.applyErr.Load(); v != nil {
-		return v.(error)
-	}
-	return nil
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
 }
 
-// Stop tears the link down.
+// Reconnects returns how many times the link re-established its session
+// after a transient fault.
+func (l *Link) Reconnects() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.reconnects
+}
+
+// Stop tears the link down and waits for its workers to exit.
 func (l *Link) Stop() {
-	select {
-	case <-l.stop:
-		return
-	default:
-		close(l.stop)
-	}
-	if l.sub != nil {
-		l.sub.Cancel()
-	}
+	l.stopOnce.Do(func() { close(l.stop) })
 	l.wg.Wait()
 }

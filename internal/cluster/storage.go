@@ -302,7 +302,10 @@ func (s *Stager) Snapshot() error {
 	s.snapshotsPut++
 	s.mu.Unlock()
 	// The local log below the snapshotted-and-uploaded position is no
-	// longer needed for recovery.
+	// longer needed for recovery. Truncation can invalidate a downed
+	// link's resume point: a reconnect that resubscribes below the new
+	// base turns terminally ErrLinkDown, and the owner re-heals from the
+	// blob chunks staged here (resyncLink).
 	s.part.Log().TruncateBefore(lsn)
 	return nil
 }

@@ -1,0 +1,126 @@
+package cluster
+
+import (
+	"errors"
+	"sync"
+
+	"s2db/internal/wal"
+)
+
+// Transport is the pluggable boundary replication crosses between a master
+// and a replica partition — the decoupling of the log service from compute
+// that TaaS argues for, and the step that makes every distributed claim
+// here (sync-commit latency, failover, resync) testable over a real wire
+// rather than asserted over in-process objects. Open establishes one
+// replication session and returns its two endpoints. The cluster owns the
+// transport it is configured with and closes it on Close.
+type Transport interface {
+	Open() (master, replica Conn, err error)
+	Close() error
+}
+
+// Conn is one endpoint of a replication session. The master half calls
+// SendPage and RecvAck; the replica half calls RecvPage and SendAck.
+// Close tears the session down and unblocks both halves; a Conn is used by
+// one sender and one receiver goroutine, so implementations need only
+// support one concurrent call per direction.
+type Conn interface {
+	SendPage(pg wal.Page) error
+	RecvPage() (wal.Page, error)
+	SendAck(lsn uint64) error
+	RecvAck() (uint64, error)
+	Close() error
+}
+
+// errTransportClosed reports an operation on a closed session or transport.
+var errTransportClosed = errors.New("cluster: transport closed")
+
+// MemoryTransport is the in-process transport: pages and acks hand off
+// over Go channels with zero copies and no serialization, preserving the
+// seed replication behavior (and its benchmarks) exactly.
+type MemoryTransport struct {
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewMemoryTransport returns the in-process channel transport.
+func NewMemoryTransport() *MemoryTransport { return &MemoryTransport{} }
+
+// Open starts a new in-memory session.
+func (t *MemoryTransport) Open() (Conn, Conn, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil, nil, errTransportClosed
+	}
+	s := &memSession{
+		pages: make(chan wal.Page),
+		acks:  make(chan uint64, 1),
+		done:  make(chan struct{}),
+	}
+	return &memConn{s: s}, &memConn{s: s}, nil
+}
+
+// Close fails future Opens; live sessions are closed by their links.
+func (t *MemoryTransport) Close() error {
+	t.mu.Lock()
+	t.closed = true
+	t.mu.Unlock()
+	return nil
+}
+
+// memSession is the shared state of one in-memory session. The page
+// channel is unbuffered so the sender feels receiver backpressure the way
+// the seed's single replication goroutine did; the ack channel has one
+// slot so ack-on-receipt never waits on the master's ack loop.
+type memSession struct {
+	pages chan wal.Page
+	acks  chan uint64
+	done  chan struct{}
+	once  sync.Once
+}
+
+// memConn is either half of an in-memory session; direction is implied by
+// which methods the caller uses. Closing either half closes the session.
+type memConn struct{ s *memSession }
+
+func (c *memConn) SendPage(pg wal.Page) error {
+	select {
+	case c.s.pages <- pg:
+		return nil
+	case <-c.s.done:
+		return errTransportClosed
+	}
+}
+
+func (c *memConn) RecvPage() (wal.Page, error) {
+	select {
+	case pg := <-c.s.pages:
+		return pg, nil
+	case <-c.s.done:
+		return wal.Page{}, errTransportClosed
+	}
+}
+
+func (c *memConn) SendAck(lsn uint64) error {
+	select {
+	case c.s.acks <- lsn:
+		return nil
+	case <-c.s.done:
+		return errTransportClosed
+	}
+}
+
+func (c *memConn) RecvAck() (uint64, error) {
+	select {
+	case lsn := <-c.s.acks:
+		return lsn, nil
+	case <-c.s.done:
+		return 0, errTransportClosed
+	}
+}
+
+func (c *memConn) Close() error {
+	c.s.once.Do(func() { close(c.s.done) })
+	return nil
+}

@@ -75,7 +75,7 @@ func (c *Cluster) CreateWorkspace(name string) (*Workspace, error) {
 			}
 			from = lsn
 		}
-		link := StartLinkFrom(master, rep, false, c.cfg.ReplicationLatency, c.replicaID(), from)
+		link := c.startLinkFrom(master, rep, false, from)
 		if err := link.Err(); err != nil {
 			rep.Close()
 			return fail(fmt.Errorf("workspace %s: partition %d: %w", name, pi, err))
@@ -151,10 +151,11 @@ func (c *Cluster) replayBlobLog(rep *Partition, pi int, from uint64) (uint64, er
 	return from, nil
 }
 
-// resyncLink rebuilds a workspace link that was detached as a slow
-// consumer (wal.ErrSlowConsumer): the replica catches up from blob-staged
-// log chunks until the master's retained log covers the rest, then
-// re-subscribes from its applied position.
+// resyncLink rebuilds a workspace link that ended terminally — detached
+// as a slow consumer (wal.ErrSlowConsumer), or down after losing its
+// resume point or exhausting reconnects (ErrLinkDown): the replica
+// catches up from blob-staged log chunks until the master's retained log
+// covers the rest, then re-subscribes from its applied position.
 func (c *Cluster) resyncLink(ws *Workspace, pi int) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -167,7 +168,7 @@ func (c *Cluster) resyncLink(ws *Workspace, pi int) error {
 			return err
 		}
 	}
-	link := StartLinkFrom(master, rep, false, c.cfg.ReplicationLatency, c.replicaID(), rep.Applied())
+	link := c.startLinkFrom(master, rep, false, rep.Applied())
 	if err := link.Err(); err != nil {
 		return err
 	}
@@ -214,9 +215,17 @@ func (w *Workspace) Views(table string) ([]*core.View, error) {
 	return views, nil
 }
 
+// resyncable reports whether a terminal link error heals by replaying
+// blob-staged chunks and re-attaching: a slow-consumer detach or a link
+// that went down (lost resume point, reconnect exhaustion).
+func resyncable(err error) bool {
+	return errors.Is(err, wal.ErrSlowConsumer) || errors.Is(err, ErrLinkDown)
+}
+
 // WaitCaughtUp blocks until every workspace partition has applied the
-// master's current head. A link detached as a slow consumer is resynced
-// from blob-staged log chunks and re-attached before waiting.
+// master's current head. A link that ended terminally but recoverably —
+// slow-consumer detach or ErrLinkDown — is resynced from blob-staged log
+// chunks and re-attached before waiting.
 func (c *Cluster) WaitCaughtUp(ws *Workspace, timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
 	for pi, p := range ws.parts {
@@ -224,7 +233,7 @@ func (c *Cluster) WaitCaughtUp(ws *Workspace, timeout time.Duration) error {
 			if time.Now().After(deadline) {
 				return fmt.Errorf("workspace %s: partition %d: catch-up timed out", ws.Name, pi)
 			}
-			if errors.Is(ws.links[pi].Err(), wal.ErrSlowConsumer) {
+			if resyncable(ws.links[pi].Err()) {
 				if rerr := c.resyncLink(ws, pi); rerr != nil {
 					return fmt.Errorf("workspace %s: partition %d: resync: %w", ws.Name, pi, rerr)
 				}
@@ -235,7 +244,7 @@ func (c *Cluster) WaitCaughtUp(ws *Workspace, timeout time.Duration) error {
 				break
 			}
 			if lerr := ws.links[pi].Err(); lerr != nil {
-				if errors.Is(lerr, wal.ErrSlowConsumer) {
+				if resyncable(lerr) {
 					continue // resync at the top of the loop
 				}
 				return fmt.Errorf("%w (link error: %v)", err, lerr)
@@ -300,6 +309,7 @@ func PointInTimeRestore(cfg Config, target time.Time) (*Cluster, error) {
 	}
 	restored := &Cluster{
 		cfg:       cfg,
+		transport: cfg.Transport,
 		catalog:   make(map[string]*types.Schema),
 		workspace: make(map[string]*Workspace),
 	}

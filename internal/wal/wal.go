@@ -556,13 +556,21 @@ func EncodeRecords(recs []Record) []byte {
 	return buf
 }
 
-// DecodeRecords deserializes a chunk written by EncodeRecords.
+// DecodeRecords deserializes a chunk written by EncodeRecords. It is also
+// the payload decoder for wire page frames, so it must stay safe on
+// hostile input: the record count and every data length are validated
+// against the remaining buffer before any allocation sized from them.
 func DecodeRecords(buf []byte) ([]Record, error) {
 	n, k := binary.Uvarint(buf)
 	if k <= 0 {
 		return nil, fmt.Errorf("wal: bad chunk header")
 	}
 	p := k
+	// Each record occupies at least one byte, so a count beyond the
+	// remaining buffer is corrupt — reject it before sizing the slice.
+	if n > uint64(len(buf)-p) {
+		return nil, fmt.Errorf("wal: record count %d exceeds chunk size %d", n, len(buf)-p)
+	}
 	recs := make([]Record, 0, n)
 	for i := uint64(0); i < n; i++ {
 		lsn, k := binary.Uvarint(buf[p:])
@@ -590,12 +598,15 @@ func DecodeRecords(buf []byte) ([]Record, error) {
 			return nil, fmt.Errorf("wal: bad record data length")
 		}
 		p += k
-		if p+int(dl) > len(buf) {
+		if dl > uint64(len(buf)-p) {
 			return nil, fmt.Errorf("wal: truncated record data")
 		}
 		data := append([]byte(nil), buf[p:p+int(dl)]...)
 		p += int(dl)
 		recs = append(recs, Record{LSN: lsn, Kind: kind, CommitTS: ts, Wall: wall, Data: data})
+	}
+	if p != len(buf) {
+		return nil, fmt.Errorf("wal: %d trailing bytes after records", len(buf)-p)
 	}
 	return recs, nil
 }

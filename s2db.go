@@ -164,7 +164,42 @@ type Config struct {
 	// DB.Query/Exec/Explain call then compiles from scratch.
 	// DefaultPlanCacheEntries (256) is a good production size.
 	PlanCacheEntries int
+	// Transport selects how replication crosses between master and
+	// replica partitions: "" or TransportMemory keeps the in-process
+	// zero-copy channel transport (the seed behavior); TransportTCP ships
+	// every log page through the versioned, CRC-checked wire codec over
+	// loopback TCP sockets, so sync-replica durability round-trips a real
+	// socket. Any other value fails Open.
+	Transport string
+	// Chaos, when non-nil, wraps the transport with seeded fault
+	// injection — per-frame drop/delay/reorder/duplicate plus an
+	// on-demand network partition (DB.ChaosTransport controls it).
+	// Replication links heal every injected fault by reconnecting and
+	// resuming from the replica's applied position. A test/benchmark
+	// harness knob; keep it nil in production shapes.
+	Chaos *ChaosOptions
+	// LinkStallTimeout bounds how long a replication link tolerates
+	// shipped pages with no apply/ack progress before it tears its
+	// session down and reconnects (how fast lost frames or healed
+	// partitions are noticed). 0 uses cluster.DefaultLinkStallTimeout
+	// (500ms).
+	LinkStallTimeout time.Duration
 }
+
+// Transport names accepted by Config.Transport.
+const (
+	// TransportMemory is the in-process channel transport (default).
+	TransportMemory = "memory"
+	// TransportTCP frames pages over loopback TCP sockets.
+	TransportTCP = "tcp"
+)
+
+// ChaosOptions parameterizes transport fault injection (Config.Chaos).
+type ChaosOptions = cluster.ChaosConfig
+
+// ChaosTransport is the live fault injector handle for a DB opened with
+// Config.Chaos (see DB.ChaosTransport).
+type ChaosTransport = cluster.ChaosTransport
 
 // BlobStore is the object-store contract (see internal/blob).
 type BlobStore = blob.Store
@@ -212,6 +247,8 @@ type DB struct {
 	// plans is the shared SQL plan cache; nil (PlanCacheEntries == 0)
 	// compiles every statement from scratch.
 	plans *sql.Cache
+	// chaos is the fault injector when Config.Chaos is set, nil otherwise.
+	chaos *ChaosTransport
 }
 
 // newVecCacheGroup resolves the cache knobs: VectorCacheBytes 0 = default,
@@ -240,6 +277,29 @@ func (cp cachePartitioner) Attach(name string) (core.DecodedVectorCache, error) 
 
 func (cp cachePartitioner) Detach(name string) { cp.g.DetachPartition(name) }
 
+// newTransport resolves the transport knobs: the named base transport,
+// optionally wrapped with chaos fault injection.
+func newTransport(cfg Config) (cluster.Transport, *ChaosTransport, error) {
+	var tr cluster.Transport
+	switch cfg.Transport {
+	case "", TransportMemory:
+		tr = cluster.NewMemoryTransport()
+	case TransportTCP:
+		t, err := cluster.NewTCPTransport()
+		if err != nil {
+			return nil, nil, err
+		}
+		tr = t
+	default:
+		return nil, nil, fmt.Errorf("s2db: unknown transport %q (want %q or %q)", cfg.Transport, TransportMemory, TransportTCP)
+	}
+	if cfg.Chaos != nil {
+		ct := cluster.NewChaosTransport(tr, *cfg.Chaos)
+		return ct, ct, nil
+	}
+	return tr, nil, nil
+}
+
 // Open creates and starts a database.
 func Open(cfg Config) (*DB, error) {
 	var store blob.Store
@@ -254,6 +314,10 @@ func Open(cfg Config) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
+	transport, chaos, err := newTransport(cfg)
+	if err != nil {
+		return nil, err
+	}
 	ccfg := cluster.Config{
 		Name:                cfg.Name,
 		Partitions:          cfg.Partitions,
@@ -264,6 +328,8 @@ func Open(cfg Config) (*DB, error) {
 		ReplicationLatency:  cfg.ReplicationLatency,
 		LogPageBytes:        cfg.LogPageBytes,
 		GroupCommitInterval: cfg.GroupCommitInterval,
+		Transport:           transport,
+		LinkStallTimeout:    cfg.LinkStallTimeout,
 		Table: core.Config{
 			MaxSegmentRows:      cfg.MaxSegmentRows,
 			Background:          cfg.BackgroundMaintenance,
@@ -279,10 +345,16 @@ func Open(cfg Config) (*DB, error) {
 	}
 	c, err := cluster.New(ccfg)
 	if err != nil {
+		transport.Close()
 		return nil, err
 	}
-	return &DB{cluster: c, cfg: cfg, vec: vec, plans: sql.NewCache(cfg.PlanCacheEntries)}, nil
+	return &DB{cluster: c, cfg: cfg, vec: vec, plans: sql.NewCache(cfg.PlanCacheEntries), chaos: chaos}, nil
 }
+
+// ChaosTransport returns the live fault injector when the database was
+// opened with Config.Chaos (nil otherwise); tests and the transport
+// benchmark use it to toggle network partitions and read fault counts.
+func (db *DB) ChaosTransport() *ChaosTransport { return db.chaos }
 
 // VectorCacheStats returns the decoded-vector cache counters broken down
 // by tier — the primary's hot tier, each workspace's hot tier and the
