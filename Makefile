@@ -1,7 +1,7 @@
 # Tier-1 gate: every change must pass `make check` — build, vet, and the
 # full test suite under the race detector (the parallel fan-out scheduler
 # runs on every query, so -race is part of the gate, not an extra).
-.PHONY: check ci fmtcheck build vet test race racewal bench benchgc benchmerge benchws benchsql benchkernels benchtransport benchsmoke benchall fuzzsmoke chaossmoke
+.PHONY: check ci fmtcheck build vet test race racewal bench benchgc benchmerge benchws benchsql benchkernels benchtransport benchrestore benchsmoke benchall fuzzsmoke chaossmoke
 
 check: build vet race
 
@@ -78,6 +78,13 @@ benchkernels:
 benchtransport:
 	go run ./cmd/s2bench -exp transport -out BENCH_PR8.json
 
+# benchrestore regenerates BENCH_PR9.json: O(manifest) lazy restore vs the
+# EagerHydration ablation under simulated blob latency — PITR restore time,
+# workspace-create-before-first-payload-fetch, time to first analytic query
+# (demand hydration) and time to fully warm (parallel readahead).
+benchrestore:
+	go run ./cmd/s2bench -exp restore -out BENCH_PR9.json
+
 # chaossmoke is the seeded chaos soak: every fault class against the
 # replication and workspace links under the race detector. Seeded RNG
 # keeps the fault schedule reproducible across runs.
@@ -95,6 +102,7 @@ benchsmoke:
 	go run ./cmd/s2bench -exp sqlplan -smoke
 	go run ./cmd/s2bench -exp kernels -smoke
 	go run ./cmd/s2bench -exp transport -smoke
+	go run ./cmd/s2bench -exp restore -smoke
 
 # fuzzsmoke runs the fuzz targets for a few seconds each: FuzzParse
 # must never panic, FuzzNormalize must stay idempotent, and

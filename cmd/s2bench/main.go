@@ -13,6 +13,7 @@
 //	s2bench -exp sqlplan   # SQL plan cache vs parse vs builder (BENCH_PR6.json)
 //	s2bench -exp kernels   # fused encoded-execution kernels ablation (BENCH_PR7.json)
 //	s2bench -exp transport # in-memory vs TCP wire transport + chaos (BENCH_PR8.json)
+//	s2bench -exp restore   # lazy segment hydration: O(manifest) restore (BENCH_PR9.json)
 //	s2bench -exp all       # every table/figure (JSON experiments stay opt-in)
 //
 // -smoke shrinks the JSON experiments to seconds-scale harness checks (tiny
@@ -41,8 +42,8 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, table2, figure4, figure5, table3, veccache, groupcommit, merge, wscache, sqlplan, kernels, transport, all")
-	out := flag.String("out", "", "output path for -exp veccache (BENCH_PR2.json), -exp groupcommit (BENCH_PR3.json), -exp merge (BENCH_PR4.json), -exp wscache (BENCH_PR5.json), -exp sqlplan (BENCH_PR6.json), -exp kernels (BENCH_PR7.json) or -exp transport (BENCH_PR8.json)")
+	exp := flag.String("exp", "all", "experiment: table1, table2, figure4, figure5, table3, veccache, groupcommit, merge, wscache, sqlplan, kernels, transport, restore, all")
+	out := flag.String("out", "", "output path for -exp veccache (BENCH_PR2.json), -exp groupcommit (BENCH_PR3.json), -exp merge (BENCH_PR4.json), -exp wscache (BENCH_PR5.json), -exp sqlplan (BENCH_PR6.json), -exp kernels (BENCH_PR7.json), -exp transport (BENCH_PR8.json) or -exp restore (BENCH_PR9.json)")
 	sf := flag.Float64("sf", 0.01, "TPC-H scale factor")
 	warehouses := flag.Int("warehouses", 2, "TPC-C warehouses")
 	duration := flag.Duration("duration", 3*time.Second, "per-measurement duration")
@@ -91,6 +92,9 @@ func main() {
 	if jsonBench("transport", "BENCH_PR8.json", func(path string, smoke bool) error {
 		return transportBench(path, *duration, smoke)
 	}) {
+		return
+	}
+	if jsonBench("restore", "BENCH_PR9.json", restoreBench) {
 		return
 	}
 

@@ -1,0 +1,325 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"s2db/internal/blob"
+	"s2db/internal/cluster"
+	"s2db/internal/core"
+	"s2db/internal/exec"
+	"s2db/internal/types"
+	"s2db/internal/vector"
+)
+
+// payloadLatencyStore injects blob latency on segment data-file reads only
+// (keys under ".../data/"), leaving manifests, snapshots and log chunks
+// fast — the metric under test is payload hydration, and both restore modes
+// pay the metadata reads identically. started/completed count data-file
+// fetches so the harness can prove a restore returned before the first
+// payload fetch finished.
+type payloadLatencyStore struct {
+	blob.Store
+	latency   time.Duration
+	started   atomic.Int64
+	completed atomic.Int64
+}
+
+func (s *payloadLatencyStore) Get(key string) ([]byte, error) {
+	if strings.Contains(key, "/data/") {
+		s.started.Add(1)
+		defer s.completed.Add(1)
+		if s.latency > 0 {
+			time.Sleep(s.latency)
+		}
+	}
+	return s.Store.Get(key)
+}
+
+func restoreSchema() *types.Schema {
+	s := types.NewSchema(
+		types.Column{Name: "id", Type: types.Int64},
+		types.Column{Name: "val", Type: types.Int64},
+		types.Column{Name: "tag", Type: types.String},
+	)
+	s.UniqueKey = []int{0}
+	s.ShardKey = []int{0}
+	s.SecondaryKeys = [][]int{{2}}
+	return s
+}
+
+// restoreBench measures lazy segment hydration (PR 9): RestoreState installs
+// metadata-only stubs in O(manifest) and a per-table worker pool pulls
+// payloads behind it — demand fetches from blocked scans first, view-order
+// readahead after. Three scenarios against a blob store with per-payload
+// fetch latency:
+//
+//   - pitr: PointInTimeRestore + RestoreTables, eager (the ablation: every
+//     payload loads serially before restore returns) vs lazy (returns after
+//     the manifest; readahead warms in parallel). Also times the first
+//     analytic query on the cold lazy restore (demand hydration) and the
+//     wait until fully warm.
+//   - workspace: CreateWorkspace bootstrapping from a blob snapshot; lazy
+//     must return before the first payload fetch completes.
+//   - equivalence: the lazy and eager restores answer identical queries.
+//
+// Results land in BENCH_PR9.json. smoke shrinks rows and latency and skips
+// the JSON artifact.
+func restoreBench(out string, smoke bool) error {
+	rows, segRows := 16_384, 512
+	latency := 5 * time.Millisecond
+	minSpeedup := 4.0
+	if smoke {
+		rows, segRows = 2_048, 128
+		latency = 2 * time.Millisecond
+		minSpeedup = 1.5 // tiny manifests shrink the gap; smoke checks the harness
+	}
+
+	type mode struct {
+		name  string
+		eager bool
+
+		store *payloadLatencyStore
+
+		loadedSegs       int64
+		restoreMs        float64
+		payloadsAtReturn int64
+		firstQueryMs     float64
+		fullWarmMs       float64
+		queryRows        int64
+		totalCount       int64
+
+		wsCreateMs          float64
+		wsPayloadsDoneAtRet int64
+		wsPayloadsAtRet     int64
+		wsQueryMs           float64
+		wsCount             int64
+	}
+
+	// build loads a primary cluster and stages everything to blob. CacheBytes
+	// is tiny so uploaded data files evict immediately: every restore and
+	// workspace bootstrap fetches payloads cold from the blob store.
+	build := func(m *mode) (*cluster.Cluster, time.Time, error) {
+		m.store = &payloadLatencyStore{Store: blob.NewMemory(), latency: latency}
+		cfg := cluster.Config{
+			Name: "restbench", Partitions: 2, Blob: m.store,
+			CacheBytes:   1,
+			Table:        core.Config{MaxSegmentRows: segRows, EagerHydration: m.eager},
+			ChunkRecords: 256, SnapshotEvery: 1 << 30, // snapshots taken explicitly
+		}
+		c, err := cluster.New(cfg)
+		if err != nil {
+			return nil, time.Time{}, err
+		}
+		if err := c.CreateTable("items", restoreSchema()); err != nil {
+			c.Close()
+			return nil, time.Time{}, err
+		}
+		batch := make([]types.Row, 0, rows)
+		for i := 0; i < rows; i++ {
+			batch = append(batch, types.Row{
+				types.NewInt(int64(i)), types.NewInt(int64(i % 1000)),
+				types.NewString(fmt.Sprintf("t%d", i%4)),
+			})
+		}
+		if _, err := c.Insert("items", batch, core.InsertOptions{}); err != nil {
+			c.Close()
+			return nil, time.Time{}, err
+		}
+		if err := c.Flush("items"); err != nil {
+			c.Close()
+			return nil, time.Time{}, err
+		}
+		for pi := 0; pi < 2; pi++ {
+			c.Master(pi).NoteAppend()
+			c.Stager(pi).Step()
+			if err := c.Stager(pi).Snapshot(); err != nil {
+				c.Close()
+				return nil, time.Time{}, err
+			}
+			tbl, _ := c.Master(pi).Table("items")
+			m.loadedSegs += int64(len(tbl.Snapshot().Segs))
+		}
+		time.Sleep(2 * time.Millisecond) // snapshots strictly before the target
+		return c, time.Now(), nil
+	}
+
+	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+	tagFilter := exec.NewLeaf(2, vector.Eq, types.NewString("t1"))
+
+	runPITR := func(m *mode, target time.Time) error {
+		m.store.started.Store(0)
+		m.store.completed.Store(0)
+		restored, err := cluster.PointInTimeRestore(cluster.Config{
+			Name: "restbench", Partitions: 2, Blob: m.store,
+			Table: core.Config{MaxSegmentRows: segRows, EagerHydration: m.eager},
+		}, target)
+		if err != nil {
+			return err
+		}
+		defer restored.Close()
+		start := time.Now()
+		if err := restored.RestoreTables(map[string]*types.Schema{"items": restoreSchema()}, target); err != nil {
+			return err
+		}
+		m.restoreMs = ms(time.Since(start))
+		m.payloadsAtReturn = m.store.completed.Load()
+
+		// Metadata COUNT(*) answers from stubs with no payload fetch.
+		views, err := restored.Views("items")
+		if err != nil {
+			return err
+		}
+		for _, v := range views {
+			m.totalCount += exec.NewScan(v, nil).Count()
+		}
+
+		// First analytic query on the cold restore: demand hydration, with
+		// readahead prefetching the rest of each view behind it.
+		qStart := time.Now()
+		got, err := exec.CollectRows(context.Background(), views, tagFilter, -1, 0, nil)
+		if err != nil {
+			return err
+		}
+		m.firstQueryMs = ms(time.Since(qStart))
+		m.queryRows = int64(len(got))
+
+		// Time until every segment is resident (readahead drains).
+		for pi := 0; pi < 2; pi++ {
+			tbl, err := restored.Master(pi).Table("items")
+			if err != nil {
+				return err
+			}
+			if err := tbl.WaitHydrated(context.Background()); err != nil {
+				return err
+			}
+		}
+		m.fullWarmMs = ms(time.Since(start))
+		return nil
+	}
+
+	runWorkspace := func(m *mode, c *cluster.Cluster) error {
+		m.store.started.Store(0)
+		m.store.completed.Store(0)
+		start := time.Now()
+		ws, err := c.CreateWorkspace("analytics")
+		if err != nil {
+			return err
+		}
+		m.wsCreateMs = ms(time.Since(start))
+		m.wsPayloadsDoneAtRet = m.store.completed.Load()
+		m.wsPayloadsAtRet = m.store.started.Load()
+		if err := c.WaitCaughtUp(ws, 30*time.Second); err != nil {
+			return err
+		}
+		views, err := ws.Views("items")
+		if err != nil {
+			return err
+		}
+		qStart := time.Now()
+		for _, v := range views {
+			n := exec.NewScan(v, exec.CloneNode(tagFilter)).Count()
+			m.wsCount += n
+		}
+		m.wsQueryMs = ms(time.Since(qStart))
+		return nil
+	}
+
+	modes := []*mode{
+		{name: "eager (ablation)", eager: true},
+		{name: "lazy", eager: false},
+	}
+	for _, m := range modes {
+		c, target, err := build(m)
+		if err != nil {
+			return fmt.Errorf("%s: build: %w", m.name, err)
+		}
+		if err := runPITR(m, target); err != nil {
+			c.Close()
+			return fmt.Errorf("%s: pitr: %w", m.name, err)
+		}
+		if err := runWorkspace(m, c); err != nil {
+			c.Close()
+			return fmt.Errorf("%s: workspace: %w", m.name, err)
+		}
+		c.Close()
+		fmt.Printf("%-18s restore %8.2fms (%2d/%2d payloads fetched at return)  first query %8.2fms  fully warm %8.2fms\n",
+			m.name, m.restoreMs, m.payloadsAtReturn, m.loadedSegs, m.firstQueryMs, m.fullWarmMs)
+		fmt.Printf("%-18s ws create %6.2fms (%d payload fetches completed at return)  ws query %8.2fms\n",
+			"", m.wsCreateMs, m.wsPayloadsDoneAtRet, m.wsQueryMs)
+	}
+	eager, lazy := modes[0], modes[1]
+
+	speedup := eager.restoreMs / lazy.restoreMs
+	equivalent := eager.totalCount == lazy.totalCount &&
+		eager.queryRows == lazy.queryRows &&
+		eager.wsCount == lazy.wsCount &&
+		lazy.totalCount == int64(rows)
+	lazyReturnsCold := lazy.payloadsAtReturn < lazy.loadedSegs
+	wsBeforeFirstFetch := lazy.wsPayloadsDoneAtRet == 0
+	fmt.Printf("cold PITR restore speedup (lazy vs eager): %.1fx; equivalence %v\n", speedup, equivalent)
+
+	if !equivalent {
+		return fmt.Errorf("equivalence failed: eager %d/%d/%d rows vs lazy %d/%d/%d (want total %d)",
+			eager.totalCount, eager.queryRows, eager.wsCount,
+			lazy.totalCount, lazy.queryRows, lazy.wsCount, rows)
+	}
+	if speedup < minSpeedup {
+		return fmt.Errorf("lazy restore speedup %.2fx < required %.1fx (eager %.2fms, lazy %.2fms)",
+			speedup, minSpeedup, eager.restoreMs, lazy.restoreMs)
+	}
+	if !lazyReturnsCold {
+		return fmt.Errorf("lazy restore fetched all %d payloads before returning", lazy.loadedSegs)
+	}
+	if !wsBeforeFirstFetch {
+		return fmt.Errorf("lazy workspace create returned after %d completed payload fetches", lazy.wsPayloadsDoneAtRet)
+	}
+
+	if smoke {
+		fmt.Println("smoke mode: harness OK, JSON artifact not written")
+		return nil
+	}
+	modeJSON := func(m *mode) map[string]any {
+		return map[string]any{
+			"name":                         m.name,
+			"segments":                     m.loadedSegs,
+			"restore_ms":                   m.restoreMs,
+			"payload_fetches_at_return":    m.payloadsAtReturn,
+			"first_query_ms":               m.firstQueryMs,
+			"fully_warm_ms":                m.fullWarmMs,
+			"workspace_create_ms":          m.wsCreateMs,
+			"ws_payload_fetches_at_return": m.wsPayloadsDoneAtRet,
+			"workspace_first_query_ms":     m.wsQueryMs,
+		}
+	}
+	payload := map[string]any{
+		"benchmark":       "lazy segment hydration: O(manifest) restore + demand-fetch scans (PR 9)",
+		"command":         "s2bench -exp restore",
+		"rows":            rows,
+		"segment_rows":    segRows,
+		"blob_latency_ms": ms(latency),
+		"benchmarks":      []map[string]any{modeJSON(eager), modeJSON(lazy)},
+		"restore_speedup": speedup,
+		"acceptance": map[string]any{
+			"lazy_restore_speedup_over_4x":             speedup >= 4,
+			"lazy_restore_returns_before_all_payloads": lazyReturnsCold,
+			"workspace_create_before_first_fetch":      wsBeforeFirstFetch,
+			"lazy_eager_equivalent":                    equivalent,
+		},
+	}
+	data, err := json.MarshalIndent(payload, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	return nil
+}

@@ -177,5 +177,9 @@ func (p Plan) String() string {
 	if s.PlanCacheHits+s.PlanCacheMisses > 0 {
 		fmt.Fprintf(&b, "  plan cache (last run): %d hit, %d miss\n", s.PlanCacheHits, s.PlanCacheMisses)
 	}
+	if s.HydrationWaits+s.HydratedSegs > 0 {
+		fmt.Fprintf(&b, "  hydration: %d cold-segment waits, %d segments hydrated on demand\n",
+			s.HydrationWaits, s.HydratedSegs)
+	}
 	return b.String()
 }

@@ -2,6 +2,7 @@ package blob
 
 import (
 	"container/list"
+	"context"
 	"fmt"
 	"sync"
 )
@@ -23,6 +24,14 @@ type FileCache struct {
 
 	// counters for the experiments
 	hits, misses, evictions int64
+}
+
+// Inflight reports how many cold fetches are currently outstanding against
+// the blob store (the hydrator's fetch-inflight accounting).
+func (c *FileCache) Inflight() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.inflight)
 }
 
 type cacheEntry struct {
@@ -91,6 +100,16 @@ func (c *FileCache) MarkUploaded(key string) {
 // matter how many goroutines miss on it concurrently: the first registers
 // an in-flight fetch, the rest wait on it and share the result.
 func (c *FileCache) Get(key string) ([]byte, error) {
+	return c.GetCtx(context.Background(), key)
+}
+
+// GetCtx is Get with cancellation: a caller whose ctx expires while a cold
+// fetch is outstanding gets ctx.Err() immediately, but the blob-store
+// request itself is never aborted — it runs on its own goroutine and
+// completes the in-flight entry so every other (and any future) waiter
+// still shares the single fetch. Cancellation abandons the wait, not the
+// work.
+func (c *FileCache) GetCtx(ctx context.Context, key string) ([]byte, error) {
 	c.mu.Lock()
 	if el, ok := c.entries[key]; ok {
 		c.lru.MoveToFront(el)
@@ -99,37 +118,39 @@ func (c *FileCache) Get(key string) ([]byte, error) {
 		c.mu.Unlock()
 		return data, nil
 	}
-	if f, ok := c.inflight[key]; ok {
+	var f *fetch
+	if inflight, ok := c.inflight[key]; ok {
 		c.hits++ // shared with the in-flight fetch, not a second blob read
-		c.mu.Unlock()
-		<-f.done
+		f = inflight
+	} else {
+		c.misses++
+		f = &fetch{done: make(chan struct{})}
+		c.inflight[key] = f
+		go func() {
+			data, err := c.store.Get(key)
+			if err != nil {
+				err = fmt.Errorf("file cache miss for %s: %w", key, err)
+			}
+			c.mu.Lock()
+			delete(c.inflight, key)
+			if _, ok := c.entries[key]; !ok && err == nil {
+				e := &cacheEntry{key: key, data: data}
+				c.entries[key] = c.lru.PushFront(e)
+				c.curBytes += len(data)
+				c.evict()
+			}
+			f.data, f.err = data, err
+			c.mu.Unlock()
+			close(f.done)
+		}()
+	}
+	c.mu.Unlock()
+	select {
+	case <-f.done:
 		return f.data, f.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
 	}
-	c.misses++
-	f := &fetch{done: make(chan struct{})}
-	c.inflight[key] = f
-	c.mu.Unlock()
-
-	data, err := c.store.Get(key)
-	if err != nil {
-		err = fmt.Errorf("file cache miss for %s: %w", key, err)
-	}
-
-	c.mu.Lock()
-	delete(c.inflight, key)
-	if _, ok := c.entries[key]; !ok && err == nil {
-		e := &cacheEntry{key: key, data: data}
-		c.entries[key] = c.lru.PushFront(e)
-		c.curBytes += len(data)
-		c.evict()
-	}
-	f.data, f.err = data, err
-	c.mu.Unlock()
-	close(f.done)
-	if err != nil {
-		return nil, err
-	}
-	return data, nil
 }
 
 // Remove drops a file from the cache (e.g. after a merge retires its

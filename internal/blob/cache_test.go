@@ -1,6 +1,7 @@
 package blob
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -145,4 +146,95 @@ func TestFileCacheConcurrentHammer(t *testing.T) {
 		}(g)
 	}
 	wg.Wait()
+}
+
+func TestFileCacheGetCtxCancelDoesNotAbortFetch(t *testing.T) {
+	mem := NewMemory()
+	mem.Put("seg/cold", []byte("payload"))
+	store := &countingStore{Store: mem, delay: 50 * time.Millisecond}
+	c := NewFileCache(store, 1<<20)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	start := time.Now()
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	if _, err := c.GetCtx(ctx, "seg/cold"); err != context.Canceled {
+		t.Fatalf("GetCtx = %v, want context.Canceled", err)
+	}
+	if d := time.Since(start); d >= 50*time.Millisecond {
+		t.Fatalf("cancelled waiter blocked %v, want < fetch latency", d)
+	}
+	// The abandoned fetch completes on its own and lands in the cache: the
+	// next Get is a hit with no second blob read.
+	for c.Inflight() > 0 {
+		time.Sleep(time.Millisecond)
+	}
+	data, err := c.Get("seg/cold")
+	if err != nil || string(data) != "payload" {
+		t.Fatalf("post-cancel Get = %q, %v", data, err)
+	}
+	if got := store.gets.Load(); got != 1 {
+		t.Fatalf("store saw %d Gets, want 1 (cancel must not abort or re-issue)", got)
+	}
+}
+
+func TestFileCacheSingleFlightGetRacesRemoveAndEviction(t *testing.T) {
+	mem := NewMemory()
+	mem.Put("seg/a", []byte("aaaaaaaaaa"))
+	mem.Put("seg/b", []byte("bbbbbbbbbb"))
+	// Tight budget: every unpinned insert can evict the other entry.
+	store := &countingStore{Store: mem, delay: time.Millisecond}
+	c := NewFileCache(store, 12)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			key := "seg/a"
+			if g%2 == 1 {
+				key = "seg/b"
+			}
+			want := string(mustStoreGet(t, mem, key))
+			for i := 0; i < 100; i++ {
+				switch i % 5 {
+				case 0:
+					// Pin it locally, then unpin: races the in-flight
+					// fetch's re-insert path.
+					c.AddLocal(key, []byte(want))
+					c.MarkUploaded(key)
+				case 1:
+					c.Remove(key)
+				default:
+					data, err := c.Get(key)
+					if err != nil {
+						t.Errorf("Get %s: %v", key, err)
+						return
+					}
+					if string(data) != want {
+						t.Errorf("Get %s = %q, want %q", key, data, want)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	// Removed-then-refetched keys must still resolve.
+	for _, key := range []string{"seg/a", "seg/b"} {
+		if _, err := c.Get(key); err != nil {
+			t.Fatalf("final Get %s: %v", key, err)
+		}
+	}
+}
+
+func mustStoreGet(t *testing.T, s Store, key string) []byte {
+	t.Helper()
+	data, err := s.Get(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
 }

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"sort"
@@ -90,6 +91,13 @@ func (f *PartitionFiles) SaveFile(name string, data []byte) error {
 // miss.
 func (f *PartitionFiles) LoadFile(name string) ([]byte, error) {
 	return f.cache.Get(name)
+}
+
+// LoadFileCtx implements core.FileLoaderCtx: a caller whose ctx dies while
+// a cold read is in flight unblocks immediately; the shared fetch keeps
+// running so other waiters (and the cache) still get the payload.
+func (f *PartitionFiles) LoadFileCtx(ctx context.Context, name string) ([]byte, error) {
+	return f.cache.GetCtx(ctx, name)
 }
 
 // RemoveFile implements core.FileStore: drops the local copy only — blob

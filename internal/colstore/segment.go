@@ -48,6 +48,14 @@ type Segment struct {
 	// under their own locks, so an invalidation racing a demotion or
 	// promotion cannot resurrect a vector after every tier was purged.
 	retired atomic.Bool
+	// hydrated is set (once, never cleared) when the segment's payload —
+	// Cols, Min/Max, HasRange — is present. Segments built from rows or
+	// decoded from a data file are born hydrated; NewStub produces a
+	// metadata-only segment (ID + NumRows from the manifest) whose payload
+	// AdoptPayload fills in later. Readers must check Hydrated() before
+	// touching payload fields; the store in AdoptPayload is the release
+	// barrier making them visible.
+	hydrated atomic.Bool
 }
 
 // Schema returns the table schema the segment was built under.
@@ -58,6 +66,39 @@ func (s *Segment) Retire() { s.retired.Store(true) }
 
 // Retired reports whether a merge has retired the segment.
 func (s *Segment) Retired() bool { return s.retired.Load() }
+
+// Hydrated reports whether the segment's payload is resident. A false
+// return means only ID/NumRows (and table-level metadata such as deleted
+// bits) are usable.
+func (s *Segment) Hydrated() bool { return s.hydrated.Load() }
+
+// NewStub returns a metadata-only segment: ID and row count from a
+// manifest, no column payload. Zone maps and cell reads are unavailable
+// until AdoptPayload runs; MayContain conservatively admits everything.
+func NewStub(id uint64, numRows int, schema *types.Schema) *Segment {
+	return &Segment{ID: id, NumRows: numRows, schema: schema}
+}
+
+// AdoptPayload installs a decoded payload into a stub in place, so every
+// holder of the stub pointer (segment metadata, indexes, caches) sees the
+// data appear without a pointer swap. The decoded segment must be the same
+// file the stub was manifested from. Idempotent: adopting into an already
+// hydrated segment is a no-op.
+func (s *Segment) AdoptPayload(decoded *Segment) error {
+	if decoded.ID != s.ID || decoded.NumRows != s.NumRows {
+		return fmt.Errorf("colstore: payload %d/%d rows does not match stub %d/%d rows",
+			decoded.ID, decoded.NumRows, s.ID, s.NumRows)
+	}
+	if s.hydrated.Load() {
+		return nil
+	}
+	s.Cols = decoded.Cols
+	s.Min = decoded.Min
+	s.Max = decoded.Max
+	s.HasRange = decoded.HasRange
+	s.hydrated.Store(true) // release: payload writes above happen-before readers
+	return nil
+}
 
 // Builder accumulates rows and produces an immutable Segment.
 type Builder struct {
@@ -109,6 +150,7 @@ func buildFromRows(id uint64, schema *types.Schema, rows []types.Row) *Segment {
 		HasRange: make([]bool, len(schema.Columns)),
 		schema:   schema,
 	}
+	seg.hydrated.Store(true)
 	for c, col := range schema.Columns {
 		var nulls *bitmap.Bitmap
 		setNull := func(i int) {
@@ -202,6 +244,9 @@ func (s *Segment) IntValues(col int, dst []int64) []int64 {
 // without touching data files (§5.1).
 func (s *Segment) MayContain(col int, op int, v types.Value) bool {
 	// op follows vector.CmpOp ordering: Eq, Ne, Lt, Le, Gt, Ge.
+	if !s.hydrated.Load() {
+		return true // no zone map yet: cannot eliminate an unhydrated stub
+	}
 	if !s.HasRange[col] {
 		return false // all null: no comparison can hold
 	}
@@ -283,6 +328,7 @@ func Decode(buf []byte, schema *types.Schema) (*Segment, error) {
 		HasRange: make([]bool, ncols),
 		schema:   schema,
 	}
+	seg.hydrated.Store(true)
 	for c := 0; c < int(ncols); c++ {
 		if p >= len(buf) {
 			return nil, fmt.Errorf("colstore: truncated column %d", c)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -14,7 +15,9 @@ import (
 )
 
 // installSegment adds a segment entry visible from ts. Callers run inside
-// the commit/replay critical section.
+// the commit/replay critical section. Unhydrated stubs (lazy restore) defer
+// their secondary-index registration to hydration — the index can only be
+// built from column values — and are counted so index probes know to wait.
 func (t *Table) installSegment(ts uint64, seg *colstore.Segment, run int, file string, deleted *bitmap.Bitmap) {
 	meta := colstore.NewMeta(seg, run, file)
 	if deleted != nil {
@@ -22,6 +25,11 @@ func (t *Table) installSegment(ts uint64, seg *colstore.Segment, run int, file s
 	}
 	e := &segEntry{createTS: ts}
 	e.versions.Store(&metaVersion{ts: ts, meta: meta})
+	hydrated := seg.Hydrated()
+	if !hydrated {
+		e.stub.Store(true)
+		t.unhydrated.Add(1)
+	}
 	t.segMu.Lock()
 	t.segs[seg.ID] = e
 	if seg.ID >= t.nextSeg.Load() {
@@ -31,7 +39,9 @@ func (t *Table) installSegment(ts uint64, seg *colstore.Segment, run int, file s
 		t.nextRun.Store(int64(run) + 1)
 	}
 	t.segMu.Unlock()
-	t.idx.AddSegment(seg)
+	if hydrated {
+		t.idx.AddSegment(seg)
+	}
 }
 
 // dropSegment retires a segment at ts (after a merge). The decoded-vector
@@ -48,6 +58,12 @@ func (t *Table) dropSegment(ts uint64, id uint64) {
 	}
 	e.dropTS.Store(ts)
 	t.idx.DropSegment(id)
+	// A stub dropped before hydration leaves the live-stub count: the
+	// CAS loses against a concurrent hydration, so the counter decrements
+	// exactly once either way.
+	if e.stub.CompareAndSwap(true, false) {
+		t.unhydrated.Add(-1)
+	}
 	if t.cfg.DecodedCache != nil {
 		t.cfg.DecodedCache.InvalidateSegment(e.latestMeta().Seg)
 	}
@@ -248,6 +264,19 @@ func (t *Table) Merge() bool {
 			metas = append(metas, e.latestMeta())
 		}
 		runs = append(runs, metas)
+	}
+	// Merging reads input payloads: demand-hydrate any stubs in the plan
+	// (parallel on the hydration workers) before the k-way merge starts. A
+	// failed fetch abandons this merge attempt; the inputs stay untouched
+	// and a later merge retries.
+	if t.unhydrated.Load() != 0 {
+		h := t.hydrator()
+		for _, metas := range runs {
+			if err := h.waitAll(context.Background(), metas); err != nil {
+				t.Stats.setMergeError(fmt.Errorf("merge %s: %w", t.name, err))
+				return false
+			}
+		}
 	}
 	var merger colstore.Merger
 	if t.cfg.MergeRowSort {

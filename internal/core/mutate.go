@@ -149,6 +149,11 @@ func (t *Table) findTargets(view *View, w Where) (bufKeys [][]byte, segLocs []se
 // (§4.2). Changing unique-key columns is not supported. It returns the
 // number of rows updated.
 func (t *Table) UpdateWhere(w Where, set func(types.Row) types.Row) (int, error) {
+	// Target discovery reads segment rows (index probes or full scans):
+	// a lazily-restored table must be resident first.
+	if err := t.ensureProbeReady(); err != nil {
+		return 0, fmt.Errorf("update %s: %w", t.name, err)
+	}
 	// Excluding flush/merge between target discovery and row locking keeps
 	// the operation exactly-once: otherwise a concurrent flush can tombstone
 	// a matched buffer row (moving it into a segment) in the window between
@@ -241,6 +246,10 @@ func (t *Table) UpdateWhere(w Where, set func(types.Row) types.Row) (int, error)
 // first (§4.2) and then tombstoned under their row locks. It returns the
 // number of rows deleted.
 func (t *Table) DeleteWhere(w Where) (int, error) {
+	// See UpdateWhere: hydrate before discovery, then exclude structure.
+	if err := t.ensureProbeReady(); err != nil {
+		return 0, fmt.Errorf("delete %s: %w", t.name, err)
+	}
 	// See UpdateWhere: structural exclusion prevents lost deletes when a
 	// flush races with target discovery.
 	t.structMu.Lock()
@@ -304,6 +313,9 @@ func (t *Table) GetByUnique(vals []types.Value) (types.Row, bool, error) {
 	if len(vals) != len(uk) {
 		return nil, false, fmt.Errorf("get %s: %d key values, unique key has %d columns", t.name, len(vals), len(uk))
 	}
+	if err := t.ensureProbeReady(); err != nil {
+		return nil, false, fmt.Errorf("get %s: %w", t.name, err)
+	}
 	readTS := t.committer.Oracle().ReadTS()
 	key := types.EncodeKey(nil, vals...)
 	if r, ok := t.buffer.Get(key, readTS); ok {
@@ -330,6 +342,9 @@ func (t *Table) GetByUnique(vals []types.Value) (types.Row, bool, error) {
 // LookupEqual returns all live rows where col == val, using the secondary
 // index when available and scans otherwise.
 func (t *Table) LookupEqual(col int, val types.Value) []types.Row {
+	if t.ensureProbeReady() != nil {
+		return nil // unhydratable cold table: no rows reachable
+	}
 	view := t.Snapshot()
 	var out []types.Row
 	view.ScanBuffer(func(r types.Row) bool {
@@ -389,6 +404,9 @@ func (t *Table) UpdateByUnique(vals []types.Value, set func(types.Row) types.Row
 	uk := t.schema.UniqueKey
 	if len(uk) == 0 {
 		return false, ErrNoUniqueKey
+	}
+	if err := t.ensureProbeReady(); err != nil {
+		return false, fmt.Errorf("update %s: %w", t.name, err)
 	}
 	key := types.EncodeKey(nil, vals...)
 	for attempt := 0; attempt < 3; attempt++ {
@@ -452,6 +470,9 @@ func (t *Table) DeleteByUnique(vals []types.Value) (bool, error) {
 	uk := t.schema.UniqueKey
 	if len(uk) == 0 {
 		return false, ErrNoUniqueKey
+	}
+	if err := t.ensureProbeReady(); err != nil {
+		return false, fmt.Errorf("delete %s: %w", t.name, err)
 	}
 	key := types.EncodeKey(nil, vals...)
 	for attempt := 0; attempt < 3; attempt++ {

@@ -33,6 +33,7 @@ func (t *Table) SerializeState(ts uint64) []byte {
 	buf = binary.AppendUvarint(buf, uint64(len(view.Segs)))
 	for _, m := range view.Segs {
 		buf = binary.AppendUvarint(buf, m.Seg.ID)
+		buf = binary.AppendUvarint(buf, uint64(m.Seg.NumRows))
 		buf = binary.AppendUvarint(buf, uint64(len(m.File)))
 		buf = append(buf, m.File...)
 		buf = binary.AppendVarint(buf, int64(m.Run))
@@ -43,8 +44,13 @@ func (t *Table) SerializeState(ts uint64) []byte {
 }
 
 // RestoreState loads a serialized state into an empty table at timestamp
-// ts, fetching segment payloads from the FileStore (which pulls from blob
-// storage on a replica or during PITR).
+// ts. By default segments install as metadata-only stubs straight from the
+// manifest — the call returns in O(manifest) — and the hydration worker
+// pool fetches payloads from the FileStore (which pulls from blob storage
+// on a replica or during PITR) in the background, readahead in view order,
+// with scans demand-fetching ahead of it. Config.EagerHydration restores
+// the fetch-everything-first baseline. Either way a restore that fails
+// installs nothing.
 func (t *Table) RestoreState(data []byte, ts uint64) error {
 	if len(data) < 8 {
 		return fmt.Errorf("restore %s: truncated state", t.name)
@@ -79,17 +85,27 @@ func (t *Table) RestoreState(data []byte, ts uint64) error {
 	}
 	p += k
 	type manifestEntry struct {
-		id   uint64
-		file string
-		run  int
-		del  *bitmap.Bitmap
+		id      uint64
+		numRows int
+		file    string
+		run     int
+		del     *bitmap.Bitmap
 	}
+	// The whole manifest parses before anything installs: a truncated or
+	// corrupt entry anywhere aborts the restore with zero segments (stub or
+	// otherwise) left behind.
 	entries := make([]manifestEntry, 0, ns)
 	for i := uint64(0); i < ns; i++ {
 		id, k := binary.Uvarint(data[p:])
 		if k <= 0 {
 			tx.Abort()
 			return fmt.Errorf("restore %s: bad segment id", t.name)
+		}
+		p += k
+		nr, k := binary.Uvarint(data[p:])
+		if k <= 0 {
+			tx.Abort()
+			return fmt.Errorf("restore %s: bad segment row count", t.name)
 		}
 		p += k
 		fl, k := binary.Uvarint(data[p:])
@@ -111,7 +127,7 @@ func (t *Table) RestoreState(data []byte, ts uint64) error {
 			return fmt.Errorf("restore %s: %w", t.name, err)
 		}
 		p += used
-		entries = append(entries, manifestEntry{id: id, file: file, run: int(run), del: del})
+		entries = append(entries, manifestEntry{id: id, numRows: int(nr), file: file, run: int(run), del: del})
 	}
 	if rid, k := binary.Uvarint(data[p:]); k > 0 {
 		if rid > t.rowID.Load() {
@@ -119,18 +135,36 @@ func (t *Table) RestoreState(data []byte, ts uint64) error {
 		}
 	}
 	segs := make([]*colstore.Segment, len(entries))
-	for i, e := range entries {
-		payload, err := t.files.LoadFile(e.file)
-		if err != nil {
-			tx.Abort()
-			return fmt.Errorf("restore %s: segment file %s: %w", t.name, e.file, err)
+	if t.cfg.EagerHydration {
+		// Ablation baseline: fetch and decode every payload before the
+		// table becomes usable (serial, segments × blob latency). A failure
+		// anywhere installs nothing.
+		for i, e := range entries {
+			payload, err := t.files.LoadFile(e.file)
+			if err != nil {
+				tx.Abort()
+				return fmt.Errorf("restore %s: segment file %s: %w", t.name, e.file, err)
+			}
+			seg, err := colstore.Decode(payload, t.schema)
+			if err != nil {
+				tx.Abort()
+				return fmt.Errorf("restore %s: segment %s: %w", t.name, e.file, err)
+			}
+			if seg.ID != e.id || seg.NumRows != e.numRows {
+				tx.Abort()
+				return fmt.Errorf("restore %s: segment %s: payload is segment %d/%d rows, manifest says %d/%d",
+					t.name, e.file, seg.ID, seg.NumRows, e.id, e.numRows)
+			}
+			segs[i] = seg
 		}
-		seg, err := colstore.Decode(payload, t.schema)
-		if err != nil {
-			tx.Abort()
-			return fmt.Errorf("restore %s: segment %s: %w", t.name, e.file, err)
+	} else {
+		// Lazy hydration: install metadata-only stubs — the restore returns
+		// in O(manifest) — and let the hydrator's readahead pull payloads in
+		// view order behind it. Scans that outrun the readahead demand-fetch
+		// the segment they need and block only on it.
+		for i, e := range entries {
+			segs[i] = colstore.NewStub(e.id, e.numRows, t.schema)
 		}
-		segs[i] = seg
 	}
 	t.committer.ReplayAt(ts, func() {
 		for i, e := range entries {
@@ -138,5 +172,12 @@ func (t *Table) RestoreState(data []byte, ts uint64) error {
 		}
 		tx.Commit(ts)
 	})
+	if !t.cfg.EagerHydration && len(entries) > 0 {
+		h := t.hydrator()
+		view := t.SnapshotAt(ts)
+		for _, m := range view.Segs {
+			h.prefetch(m)
+		}
+	}
 	return nil
 }

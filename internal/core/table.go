@@ -71,6 +71,16 @@ type Config struct {
 	// scan pipeline. Benchmark/ablation baseline only — fused kernels are
 	// the default (the zero value).
 	DisableFusedKernels bool
+	// HydrationWorkers bounds the goroutines fetching and decoding stub
+	// segment payloads after a lazy restore (parallel single-flight
+	// FileStore loads). Defaults to 8.
+	HydrationWorkers int
+	// EagerHydration restores the pre-lazy behavior: RestoreState fetches
+	// and decodes every segment payload before returning, so restore costs
+	// segments × blob latency and full resident memory up front.
+	// Benchmark/ablation baseline only — lazy hydration is the default
+	// (the zero value).
+	EagerHydration bool
 }
 
 // DecodedVectorCache is the invalidation contract between table maintenance
@@ -110,6 +120,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MergeWorkers <= 0 {
 		c.MergeWorkers = 4
+	}
+	if c.HydrationWorkers <= 0 {
+		c.HydrationWorkers = 8
 	}
 	return c
 }
@@ -208,6 +221,10 @@ type segEntry struct {
 	// the scan timestamp and the commit timestamp of the move transaction",
 	// §4.2). Indexed by old row offset.
 	remap atomic.Pointer[[]remapTarget]
+	// stub is true while the entry's segment is an unhydrated stub counted
+	// in Table.unhydrated; hydration and drop race to CAS it off so the
+	// counter decrements exactly once per stub.
+	stub atomic.Bool
 }
 
 type remapTarget struct {
@@ -251,6 +268,11 @@ type Stats struct {
 	// failed to persist; saved outputs are deleted and the inputs stay
 	// untouched, so the merge simply retries later.
 	MergeAborts atomic.Int64
+	// Hydrations counts stub segments whose payload the hydrator fetched
+	// and decoded; HydrationErrors counts failed fetch/decode attempts
+	// (the stub stays installed and the next demand retries).
+	Hydrations      atomic.Int64
+	HydrationErrors atomic.Int64
 
 	mergeErr atomic.Pointer[string]
 }
@@ -299,6 +321,13 @@ type Table struct {
 	nextSeg atomic.Uint64
 	nextRun atomic.Int64
 	rowID   atomic.Uint64
+
+	// hydr is the lazy-started stub-payload fetcher (see hydrate.go);
+	// unhydrated counts live stub segments — zero means every index probe
+	// sees every row, the fast path of ensureProbeReady.
+	hydr       atomic.Pointer[hydrator]
+	hydrOnce   sync.Once
+	unhydrated atomic.Int64
 
 	// Stats is exported for the benchmark harness.
 	Stats Stats
@@ -494,10 +523,14 @@ func (t *Table) Start() {
 	}()
 }
 
-// Close stops background work.
+// Close stops background work, including any hydration workers; blocked
+// hydration waiters get ErrTableClosed.
 func (t *Table) Close() {
 	if t.bg.stop != nil {
 		t.bg.once.Do(func() { close(t.bg.stop) })
 		t.bg.wg.Wait()
+	}
+	if h := t.hydr.Load(); h != nil {
+		h.stop()
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -530,6 +531,11 @@ func TestReplayReconstructsTable(t *testing.T) {
 func assertSameContents(t *testing.T, a, b *Table) {
 	t.Helper()
 	dump := func(tbl *Table) map[string]int {
+		// The raw RowAt reads below bypass the scan layer's demand-hydration
+		// gate, so force full hydration first (no-op on never-restored tables).
+		if err := tbl.WaitHydrated(context.Background()); err != nil {
+			t.Fatal(err)
+		}
 		out := map[string]int{}
 		view := tbl.Snapshot()
 		add := func(r types.Row) {

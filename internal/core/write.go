@@ -99,6 +99,13 @@ func (t *Table) InsertBatch(rows []types.Row, opts InsertOptions) (InsertResult,
 		return res, nil
 	}
 
+	// Duplicate detection probes the secondary index, which only covers
+	// hydrated segments — block until a lazily-restored table is fully
+	// resident (one atomic load once it is).
+	if err := t.ensureProbeReady(); err != nil {
+		return res, fmt.Errorf("insert %s: %w", t.name, err)
+	}
+
 	// Step 1 (§4.1.2): lock the unique key values for the whole batch.
 	hashes := make([]uint64, len(rows))
 	keyVals := make([][]types.Value, len(rows))
@@ -302,6 +309,10 @@ func (t *Table) BulkLoad(rows []types.Row) error {
 		return nil
 	}
 	if len(t.schema.UniqueKey) > 0 {
+		// See InsertBatch: index probes need every segment hydrated.
+		if err := t.ensureProbeReady(); err != nil {
+			return fmt.Errorf("bulk load %s: %w", t.name, err)
+		}
 		seen := make(map[string]struct{}, len(rows))
 		readTS := t.committer.Oracle().ReadTS()
 		view := t.SnapshotAt(readTS)

@@ -252,6 +252,13 @@ type ScanStats struct {
 	EncodedFilterSegs int64
 	FusedAggSegs      int64
 	RowsMaterialized  int64
+
+	// Lazy-hydration counters. HydrationWaits counts demand waits this
+	// scan issued on cold (not-yet-hydrated) segments; HydratedSegs counts
+	// the segments those waits brought in. Both zero on warm tables and
+	// under the EagerHydration ablation.
+	HydrationWaits int64
+	HydratedSegs   int64
 }
 
 // Leaf is a comparison clause: col op val (with optional IN-list).

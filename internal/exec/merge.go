@@ -175,6 +175,8 @@ func accumulate(dst *ScanStats, src ScanStats) {
 	dst.EncodedFilterSegs += src.EncodedFilterSegs
 	dst.FusedAggSegs += src.FusedAggSegs
 	dst.RowsMaterialized += src.RowsMaterialized
+	dst.HydrationWaits += src.HydrationWaits
+	dst.HydratedSegs += src.HydratedSegs
 }
 
 // AccumulateStats merges src into dst; the fan-out coordinator uses it to

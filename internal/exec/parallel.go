@@ -13,6 +13,7 @@ package exec
 
 import (
 	"context"
+	"errors"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -72,11 +73,31 @@ func runTasks(ctx context.Context, n, parallelism int, fn func(i int)) error {
 	return ctx.Err()
 }
 
-// cancelledScan wires a context into a Scan's cancellation hook.
+// cancelledScan wires a context into a Scan's cancellation hook and its
+// hydration waits: cancellation aborts a scan blocked on a cold segment's
+// payload fetch without aborting the shared fetch.
 func cancelledScan(ctx context.Context, view *core.View, filter Node) *Scan {
 	s := NewScan(view, filter)
 	s.Cancel = func() bool { return ctx.Err() != nil }
+	s.Ctx = ctx
 	return s
+}
+
+// firstScanErr folds per-task scan errors: the first terminal failure
+// (failed hydration fetch) wins; a context.Canceled from a scan whose
+// driver deliberately cancelled it (early limit) is not an error unless
+// the caller's own ctx is dead too.
+func firstScanErr(ctx context.Context, errs []error) error {
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, context.Canceled) && ctx.Err() == nil {
+			continue
+		}
+		return err
+	}
+	return nil
 }
 
 // AggregateViewsParallel is the fan-out counterpart of AggregateViews: one
@@ -87,14 +108,19 @@ func AggregateViewsParallel(ctx context.Context, views []*core.View, filter Node
 	p := newAggPlan(groupCols, aggs)
 	partials := make([][]types.Row, len(views))
 	perStats := make([]ScanStats, len(views))
+	perErr := make([]error, len(views))
 	err := runTasks(ctx, len(views), DefaultParallelism(parallelism), func(i int) {
 		f := CloneNode(filter)
 		scan := cancelledScan(ctx, views[i], f)
 		partials[i] = p.partial(views[i], f, scan)
 		perStats[i] = scan.Stats
+		perErr[i] = scan.Err
 	})
 	if err != nil {
 		return nil, err
+	}
+	if serr := firstScanErr(ctx, perErr); serr != nil {
+		return nil, serr
 	}
 	if stats != nil {
 		for i := range perStats {
@@ -119,6 +145,7 @@ func CollectRows(ctx context.Context, views []*core.View, filter Node, earlyLimi
 	defer cancel()
 	perView := make([][]types.Row, len(views))
 	perStats := make([]ScanStats, len(views))
+	perErr := make([]error, len(views))
 	var mu sync.Mutex
 	done := make([]bool, len(views))
 	// prefixSatisfied cancels trailing scans once views 0..k are all done
@@ -149,6 +176,7 @@ func CollectRows(ctx context.Context, views []*core.View, filter Node, earlyLimi
 		mu.Lock()
 		perView[i] = out
 		perStats[i] = scan.Stats
+		perErr[i] = scan.Err
 		done[i] = true
 		prefixSatisfied()
 		mu.Unlock()
@@ -156,6 +184,11 @@ func CollectRows(ctx context.Context, views []*core.View, filter Node, earlyLimi
 	// Early-limit cancellation is success; only the caller's ctx is an error.
 	if err != nil && ctx.Err() != nil {
 		return nil, ctx.Err()
+	}
+	// A scan cancelled by the early-limit sub-context is success; a scan
+	// that died on a failed hydration fetch is not.
+	if serr := firstScanErr(ctx, perErr); serr != nil {
+		return nil, serr
 	}
 	var out []types.Row
 	for i := range perView {
@@ -178,13 +211,18 @@ func CollectRows(ctx context.Context, views []*core.View, filter Node, earlyLimi
 func CountViews(ctx context.Context, views []*core.View, filter Node, parallelism int, stats *ScanStats) (int64, error) {
 	perCount := make([]int64, len(views))
 	perStats := make([]ScanStats, len(views))
+	perErr := make([]error, len(views))
 	err := runTasks(ctx, len(views), DefaultParallelism(parallelism), func(i int) {
 		scan := cancelledScan(ctx, views[i], CloneNode(filter))
 		perCount[i] = scan.Count()
 		perStats[i] = scan.Stats
+		perErr[i] = scan.Err
 	})
 	if err != nil {
 		return 0, err
+	}
+	if serr := firstScanErr(ctx, perErr); serr != nil {
+		return 0, serr
 	}
 	var n int64
 	for i := range perCount {

@@ -1,6 +1,8 @@
 package exec
 
 import (
+	"context"
+
 	"s2db/internal/core"
 	"s2db/internal/types"
 	"s2db/internal/vector"
@@ -35,6 +37,14 @@ type Scan struct {
 	// scheduler wires this to a context so in-flight partition scans stop
 	// promptly on cancellation.
 	Cancel func() bool
+	// Ctx bounds hydration waits on cold (lazily restored) segments: a
+	// cancelled Ctx aborts a scan blocked on a payload fetch without
+	// aborting the shared fetch itself. nil waits unboundedly.
+	Ctx context.Context
+	// Err records a terminal scan failure — a cold segment whose payload
+	// fetch or decode failed, or a cancelled hydration wait. The scan stops
+	// early; drivers must treat the partial output as invalid.
+	Err error
 	// DisableVectorCache bypasses the shared decoded-vector cache for this
 	// scan (ablation/benchmark knob); private per-segment decodes are used
 	// instead.
@@ -125,6 +135,19 @@ func (s *Scan) indexableProbes() []eqProbe {
 func (s *Scan) candidateSegments() []int {
 	view := s.View
 	all := make([]int, 0, len(view.Segs))
+	// Segments not yet hydrated are absent from the secondary indexes, so
+	// index-based skipping must never eliminate them. Snapshot hydration
+	// state *before* probing: a segment hydrating concurrently may not have
+	// been indexed when the probe ran.
+	var cold []bool
+	for i, m := range view.Segs {
+		if !m.Seg.Hydrated() {
+			if cold == nil {
+				cold = make([]bool, len(view.Segs))
+			}
+			cold[i] = true
+		}
+	}
 	// Step 1a: global-index candidates.
 	probes := s.indexableProbes()
 	var allowed map[uint64]bool
@@ -175,7 +198,7 @@ func (s *Scan) candidateSegments() []int {
 		}
 	}
 	for i, m := range view.Segs {
-		if allowed != nil && !allowed[m.Seg.ID] {
+		if allowed != nil && !allowed[m.Seg.ID] && (cold == nil || !cold[i]) {
 			s.Stats.SegmentsSkipped++
 			continue
 		}
@@ -196,6 +219,24 @@ func (s *Scan) candidateSegments() []int {
 		all = append(all, i)
 	}
 	return all
+}
+
+// waitHydrated blocks until the view's si-th segment has its payload
+// resident, demand-prioritizing it on the hydrator and queueing the rest
+// of the view as readahead. It returns false — with s.Err set — when the
+// wait was cancelled or the fetch failed terminally; the scan must stop.
+func (s *Scan) waitHydrated(si int) bool {
+	s.Stats.HydrationWaits++
+	ctx := s.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := s.View.HydrateSegment(ctx, si); err != nil {
+		s.Err = err
+		return false
+	}
+	s.Stats.HydratedSegs++
+	return true
 }
 
 // RunSegments calls f once per surviving segment with the filtered
@@ -231,6 +272,9 @@ func (s *Scan) RunSegments(f func(ctx *SegContext, sel []int32)) {
 			return
 		}
 		meta := s.View.Segs[si]
+		if !meta.Seg.Hydrated() && !s.waitHydrated(si) {
+			return
+		}
 		s.Stats.SegmentsScanned++
 		s.Stats.RowsScanned += int64(meta.Seg.NumRows)
 		ctx := NewSegContext(meta, s.View.Index(), &s.Stats)
@@ -285,6 +329,9 @@ func (s *Scan) runSegSel(f func(ctx *SegContext, spans []Span, sel []int32)) {
 			return
 		}
 		meta := s.View.Segs[si]
+		if !meta.Seg.Hydrated() && !s.waitHydrated(si) {
+			return
+		}
 		s.Stats.SegmentsScanned++
 		s.Stats.RowsScanned += int64(meta.Seg.NumRows)
 		ctx := NewSegContext(meta, s.View.Index(), &s.Stats)

@@ -157,6 +157,19 @@ type Config struct {
 	// (the zero value) and the unfused baseline exists for benchmarks
 	// (`cmd/s2bench -exp kernels`) and ablation studies only.
 	DisableFusedKernels bool
+	// HydrationWorkers bounds the per-table worker pool that fetches and
+	// decodes cold segment payloads after a lazy restore (snapshot recovery,
+	// workspace attach, PITR). Restore installs metadata-only stubs in
+	// O(manifest) and these workers pull the payloads behind it — demand
+	// requests from blocked scans jump ahead of readahead prefetch. 0 uses
+	// the core default (8).
+	HydrationWorkers int
+	// EagerHydration restores the pre-lazy behavior: RestoreState fetches
+	// and decodes every segment payload before returning, so recovery time
+	// is proportional to data size instead of manifest size. This is the
+	// ablation knob for `cmd/s2bench -exp restore`; production keeps it off
+	// (the zero value).
+	EagerHydration bool
 	// PlanCacheEntries bounds the shared SQL plan cache: lowered plans
 	// keyed by normalized query template (literals stripped to binds), so
 	// repeated query shapes pay lex/parse/lower once and then only
@@ -335,6 +348,8 @@ func Open(cfg Config) (*DB, error) {
 			Background:          cfg.BackgroundMaintenance,
 			MergeWorkers:        cfg.MergeWorkers,
 			DisableFusedKernels: cfg.DisableFusedKernels,
+			HydrationWorkers:    cfg.HydrationWorkers,
+			EagerHydration:      cfg.EagerHydration,
 		},
 		CachePartitions: cachePartitioner{g: vec},
 	}
@@ -455,11 +470,16 @@ func PointInTimeRestore(cfg Config, catalog map[string]*Schema, target time.Time
 		return nil, err
 	}
 	ccfg := cluster.Config{
-		Name:            cfg.Name,
-		Partitions:      cfg.Partitions,
-		Blob:            cfg.BlobStore,
-		CacheBytes:      cfg.CacheBytes,
-		Table:           core.Config{MaxSegmentRows: cfg.MaxSegmentRows, DisableFusedKernels: cfg.DisableFusedKernels},
+		Name:       cfg.Name,
+		Partitions: cfg.Partitions,
+		Blob:       cfg.BlobStore,
+		CacheBytes: cfg.CacheBytes,
+		Table: core.Config{
+			MaxSegmentRows:      cfg.MaxSegmentRows,
+			DisableFusedKernels: cfg.DisableFusedKernels,
+			HydrationWorkers:    cfg.HydrationWorkers,
+			EagerHydration:      cfg.EagerHydration,
+		},
 		CachePartitions: cachePartitioner{g: vec},
 	}
 	if p := vec.Primary(); p != nil {
