@@ -1,15 +1,16 @@
 # Tier-1 gate: every change must pass `make check` — build, vet, and the
 # full test suite under the race detector (the parallel fan-out scheduler
 # runs on every query, so -race is part of the gate, not an extra).
-.PHONY: check ci fmtcheck build vet test race racewal bench benchgc benchmerge benchws benchsql benchkernels benchtransport benchrestore benchsmoke benchall fuzzsmoke chaossmoke
+.PHONY: check ci fmtcheck lint build vet test race racewal qossmoke bench benchgc benchmerge benchws benchsql benchkernels benchtransport benchrestore benchqos benchsmoke benchsmokecheck benchall fuzzsmoke chaossmoke
 
 check: build vet race
 
-# ci mirrors .github/workflows/ci.yml exactly: formatting, the tier-1
-# check gate, the focused WAL/replication race gate, a smoke pass of
-# every benchmark harness, and a short fuzz pass of the SQL front-end.
-# Run it locally before pushing.
-ci: fmtcheck check racewal chaossmoke benchsmoke fuzzsmoke
+# ci mirrors .github/workflows/ci.yml exactly: formatting, staticcheck,
+# the tier-1 check gate, the focused WAL/replication race gate, the
+# multi-tenant QoS isolation gate, a smoke pass of every benchmark
+# harness (with artifact coverage verified against `s2bench -list`), and
+# a short fuzz pass of the SQL front-end. Run it locally before pushing.
+ci: fmtcheck lint check racewal qossmoke chaossmoke benchsmokecheck benchsmoke fuzzsmoke
 
 # fmtcheck fails (and lists the offenders) if any tracked Go file is not
 # gofmt-clean; it never rewrites files.
@@ -18,10 +19,34 @@ fmtcheck:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
+# lint runs staticcheck at a pinned version so findings are reproducible.
+# Resolution order: a staticcheck already on PATH, a previously installed
+# .tools/staticcheck, else a fresh pinned install into .tools/. With no
+# tool and no network (air-gapped dev box) it skips with a notice rather
+# than failing — CI always has the network, so the gate is real there.
+STATICCHECK_VERSION = 2025.1.1
+lint:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	elif [ -x .tools/staticcheck ]; then \
+		.tools/staticcheck ./...; \
+	elif GOBIN=$(CURDIR)/.tools go install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) 2>/dev/null; then \
+		.tools/staticcheck ./...; \
+	else \
+		echo "lint: staticcheck $(STATICCHECK_VERSION) unavailable and not installable (offline?); skipping"; \
+	fi
+
 # racewal is the focused replication-pipeline gate: the WAL page/group
 # commit machinery and its cluster consumers under the race detector.
 racewal:
 	go test -race ./internal/wal/... ./internal/cluster/...
+
+# qossmoke is the multi-tenant isolation gate: an adversarial tenant
+# floods the governed worker pool while a well-behaved tenant's tail
+# latency, typed sheds and token accounting are asserted — under the
+# race detector, including the attach/detach churn storm.
+qossmoke:
+	go test -race -run 'TestQoS' -count=1 -timeout 300s .
 
 build:
 	go build ./...
@@ -85,24 +110,41 @@ benchtransport:
 benchrestore:
 	go run ./cmd/s2bench -exp restore -out BENCH_PR9.json
 
+# benchqos regenerates BENCH_PR10.json: the well-behaved tenant's p99
+# under an adversarial flood with per-tenant admission control on, vs the
+# unloaded baseline and the DisableQoS ablation, plus typed-shed counts.
+benchqos:
+	go run ./cmd/s2bench -exp qos -out BENCH_PR10.json
+
 # chaossmoke is the seeded chaos soak: every fault class against the
 # replication and workspace links under the race detector. Seeded RNG
 # keeps the fault schedule reproducible across runs.
 chaossmoke:
 	go test -race -run 'Chaos' -count=1 ./internal/cluster
 
-# benchsmoke runs every benchmark harness end to end at tiny scale and
-# never rewrites the committed JSON artifacts — the CI guard against
-# harness rot.
+# benchsmoke runs every benchmark harness end to end at tiny scale — the
+# CI guard against harness rot. Smoke-scale JSON lands in .benchsmoke/
+# (gitignored, uploaded as CI artifacts); the committed full-scale
+# BENCH_*.json artifacts are never rewritten here.
 benchsmoke:
-	go run ./cmd/s2bench -exp veccache -smoke
-	go run ./cmd/s2bench -exp groupcommit -smoke
-	go run ./cmd/s2bench -exp merge -smoke
-	go run ./cmd/s2bench -exp wscache -smoke
-	go run ./cmd/s2bench -exp sqlplan -smoke
-	go run ./cmd/s2bench -exp kernels -smoke
-	go run ./cmd/s2bench -exp transport -smoke
-	go run ./cmd/s2bench -exp restore -smoke
+	@mkdir -p .benchsmoke
+	go run ./cmd/s2bench -exp veccache -smoke -out .benchsmoke/BENCH_PR2.json
+	go run ./cmd/s2bench -exp groupcommit -smoke -out .benchsmoke/BENCH_PR3.json
+	go run ./cmd/s2bench -exp merge -smoke -out .benchsmoke/BENCH_PR4.json
+	go run ./cmd/s2bench -exp wscache -smoke -out .benchsmoke/BENCH_PR5.json
+	go run ./cmd/s2bench -exp sqlplan -smoke -out .benchsmoke/BENCH_PR6.json
+	go run ./cmd/s2bench -exp kernels -smoke -out .benchsmoke/BENCH_PR7.json
+	go run ./cmd/s2bench -exp transport -smoke -out .benchsmoke/BENCH_PR8.json
+	go run ./cmd/s2bench -exp restore -smoke -out .benchsmoke/BENCH_PR9.json
+	go run ./cmd/s2bench -exp qos -smoke -out .benchsmoke/BENCH_PR10.json
+
+# benchsmokecheck fails if any JSON experiment s2bench knows about
+# (-list) is missing from the benchsmoke recipe above — adding a new
+# benchmark without its smoke line breaks CI, not just bit-rots.
+benchsmokecheck:
+	@missing=0; for exp in $$(go run ./cmd/s2bench -list); do \
+		grep -Eq -- "-exp $$exp -smoke" Makefile || { echo "benchsmoke is missing experiment: $$exp"; missing=1; }; \
+	done; exit $$missing
 
 # fuzzsmoke runs the fuzz targets for a few seconds each: FuzzParse
 # must never panic, FuzzNormalize must stay idempotent, and

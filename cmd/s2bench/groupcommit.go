@@ -146,6 +146,8 @@ func groupCommitBench(out string, duration time.Duration, smoke bool) error {
 		if perRecord.Commits == 0 || grouped.Commits == 0 {
 			return fmt.Errorf("smoke: a commit mode recorded zero commits")
 		}
+	}
+	if out == "" {
 		fmt.Println("smoke mode: harness OK, JSON artifact not written")
 		return nil
 	}

@@ -14,11 +14,15 @@
 //	s2bench -exp kernels   # fused encoded-execution kernels ablation (BENCH_PR7.json)
 //	s2bench -exp transport # in-memory vs TCP wire transport + chaos (BENCH_PR8.json)
 //	s2bench -exp restore   # lazy segment hydration: O(manifest) restore (BENCH_PR9.json)
+//	s2bench -exp qos       # multi-tenant QoS admission isolation (BENCH_PR10.json)
 //	s2bench -exp all       # every table/figure (JSON experiments stay opt-in)
 //
 // -smoke shrinks the JSON experiments to seconds-scale harness checks (tiny
-// row counts, no artifact overwrite) so CI catches benchmark bit-rot
-// without paying full bench cost.
+// row counts) so CI catches benchmark bit-rot without paying full bench
+// cost. Under -smoke the checked-in artifact is not overwritten: the JSON
+// is written only where -out points explicitly (CI uploads those
+// smoke-scale artifacts). -list prints the JSON experiment names, one per
+// line, so CI can verify its smoke matrix covers every experiment.
 //
 // Absolute numbers are laptop-scale; compare shapes against the paper (see
 // EXPERIMENTS.md).
@@ -42,59 +46,59 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, table2, figure4, figure5, table3, veccache, groupcommit, merge, wscache, sqlplan, kernels, transport, restore, all")
-	out := flag.String("out", "", "output path for -exp veccache (BENCH_PR2.json), -exp groupcommit (BENCH_PR3.json), -exp merge (BENCH_PR4.json), -exp wscache (BENCH_PR5.json), -exp sqlplan (BENCH_PR6.json), -exp kernels (BENCH_PR7.json), -exp transport (BENCH_PR8.json) or -exp restore (BENCH_PR9.json)")
+	exp := flag.String("exp", "all", "experiment: table1, table2, figure4, figure5, table3, veccache, groupcommit, merge, wscache, sqlplan, kernels, transport, restore, qos, all")
+	out := flag.String("out", "", "output path for a JSON experiment (default BENCH_PR<n>.json; required under -smoke to write anything)")
 	sf := flag.Float64("sf", 0.01, "TPC-H scale factor")
 	warehouses := flag.Int("warehouses", 2, "TPC-C warehouses")
 	duration := flag.Duration("duration", 3*time.Second, "per-measurement duration")
 	seed := flag.Int64("seed", 1, "data generation seed")
-	smoke := flag.Bool("smoke", false, "harness smoke test: tiny row counts, skip writing JSON artifacts")
+	smoke := flag.Bool("smoke", false, "harness smoke test: tiny row counts; writes JSON only where -out points")
+	list := flag.Bool("list", false, "print the JSON experiment names, one per line, and exit")
 	flag.Parse()
 
 	// The JSON experiments write artifacts, so they run only when asked for
-	// explicitly (not under -exp all).
-	jsonBench := func(name, defaultOut string, f func(path string, smoke bool) error) bool {
-		if *exp != name {
-			return false
+	// explicitly (not under -exp all). Under -smoke the default artifact
+	// path is suppressed so a smoke run never overwrites the checked-in
+	// full-scale results; CI passes -out to collect smoke artifacts.
+	jsonExps := []struct {
+		name       string
+		defaultOut string
+		fn         func(path string, smoke bool) error
+	}{
+		{"veccache", "BENCH_PR2.json", veccacheBench},
+		{"groupcommit", "BENCH_PR3.json", func(path string, smoke bool) error {
+			return groupCommitBench(path, *duration, smoke)
+		}},
+		{"merge", "BENCH_PR4.json", mergeBench},
+		{"wscache", "BENCH_PR5.json", wscacheBench},
+		{"sqlplan", "BENCH_PR6.json", sqlplanBench},
+		{"kernels", "BENCH_PR7.json", func(path string, smoke bool) error {
+			return kernelsBench(path, *sf, *seed, smoke)
+		}},
+		{"transport", "BENCH_PR8.json", func(path string, smoke bool) error {
+			return transportBench(path, *duration, smoke)
+		}},
+		{"restore", "BENCH_PR9.json", restoreBench},
+		{"qos", "BENCH_PR10.json", qosBench},
+	}
+	if *list {
+		for _, e := range jsonExps {
+			fmt.Println(e.name)
+		}
+		return
+	}
+	for _, e := range jsonExps {
+		if *exp != e.name {
+			continue
 		}
 		path := *out
-		if path == "" {
-			path = defaultOut
+		if path == "" && !*smoke {
+			path = e.defaultOut
 		}
-		if err := f(path, *smoke); err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+		if err := e.fn(path, *smoke); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.name, err)
 			os.Exit(1)
 		}
-		return true
-	}
-	if jsonBench("veccache", "BENCH_PR2.json", veccacheBench) {
-		return
-	}
-	if jsonBench("groupcommit", "BENCH_PR3.json", func(path string, smoke bool) error {
-		return groupCommitBench(path, *duration, smoke)
-	}) {
-		return
-	}
-	if jsonBench("merge", "BENCH_PR4.json", mergeBench) {
-		return
-	}
-	if jsonBench("wscache", "BENCH_PR5.json", wscacheBench) {
-		return
-	}
-	if jsonBench("sqlplan", "BENCH_PR6.json", sqlplanBench) {
-		return
-	}
-	if jsonBench("kernels", "BENCH_PR7.json", func(path string, smoke bool) error {
-		return kernelsBench(path, *sf, *seed, smoke)
-	}) {
-		return
-	}
-	if jsonBench("transport", "BENCH_PR8.json", func(path string, smoke bool) error {
-		return transportBench(path, *duration, smoke)
-	}) {
-		return
-	}
-	if jsonBench("restore", "BENCH_PR9.json", restoreBench) {
 		return
 	}
 

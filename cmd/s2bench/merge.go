@@ -251,6 +251,8 @@ func mergeBench(out string, smoke bool) error {
 		if rows == 0 || un == 0 || ln == 0 {
 			return fmt.Errorf("smoke: a harness stage produced no data (rows=%d fg=%d/%d)", rows, un, ln)
 		}
+	}
+	if out == "" {
 		fmt.Println("smoke mode: harness OK, JSON artifact not written")
 		return nil
 	}

@@ -280,7 +280,7 @@ func restoreBench(out string, smoke bool) error {
 		return fmt.Errorf("lazy workspace create returned after %d completed payload fetches", lazy.wsPayloadsDoneAtRet)
 	}
 
-	if smoke {
+	if out == "" {
 		fmt.Println("smoke mode: harness OK, JSON artifact not written")
 		return nil
 	}

@@ -265,7 +265,7 @@ func sqlplanBench(out string, smoke bool) error {
 	fmt.Printf("plan cache: %d hits (%d text) / %d misses, hit rate %.4f\n",
 		stats.Hits, stats.TextHits, stats.Misses, stats.HitRate())
 
-	if smoke {
+	if out == "" {
 		fmt.Println("smoke mode: skipping JSON artifact")
 		return nil
 	}

@@ -180,7 +180,7 @@ func transportBench(out string, duration time.Duration, smoke bool) error {
 			return fmt.Errorf("acceptance %q failed", k)
 		}
 	}
-	if smoke {
+	if out == "" {
 		fmt.Println("  smoke: skipping JSON artifact")
 		return nil
 	}

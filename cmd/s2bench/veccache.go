@@ -159,6 +159,8 @@ func veccacheBench(out string, smoke bool) error {
 		if warmR.VecDecodes != 0 {
 			return fmt.Errorf("smoke: warm run decoded %d vectors, want 0", warmR.VecDecodes)
 		}
+	}
+	if out == "" {
 		fmt.Println("smoke mode: harness OK, JSON artifact not written")
 		return nil
 	}

@@ -246,6 +246,8 @@ func wscacheBench(out string, smoke bool) error {
 			return fmt.Errorf("smoke: a stage produced no data (%d samples, %d/%d sweeps)",
 				baseline.Samples, shared.AdversarySweeps, partitioned.AdversarySweeps)
 		}
+	}
+	if out == "" {
 		fmt.Println("smoke mode: harness OK, JSON artifact not written")
 		return nil
 	}

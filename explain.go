@@ -1,8 +1,10 @@
 package s2db
 
 import (
+	"context"
 	"fmt"
 	"strings"
+	"time"
 
 	"s2db/internal/exec"
 )
@@ -60,6 +62,14 @@ type Plan struct {
 	// maps and which filter strategy (index, encoded, regular, group) each
 	// surviving segment chose (§5.1, §5.2).
 	Strategies exec.ScanStats
+	// Tenant is the QoS tenant the query's resource use bills to: the
+	// AsTenant tag, the context tenant, the workspace name, or the
+	// primary tenant, in that order.
+	Tenant string
+	// QoS snapshots the billed tenant's governor accounting at explain
+	// time (budgets, tokens spent, waits, sheds per resource class). Nil
+	// when QoS is disabled.
+	QoS *QoSTenantStats
 }
 
 // Explain resolves the query — snapshotting targets and binding every
@@ -82,6 +92,10 @@ func (q *Query) Explain() (Plan, error) {
 	}
 	if q.workspace != nil {
 		p.Workspace = q.workspace.Name
+	}
+	p.Tenant = q.effectiveTenant(context.Background())
+	if ts, ok := q.db.gov.TenantStatsFor(p.Tenant); ok {
+		p.QoS = &ts
 	}
 	// Report the cache partition the leaf views actually carry, rather than
 	// inferring it from routing: unified mode and a disabled cache both
@@ -136,6 +150,13 @@ func (p Plan) String() string {
 		fmt.Fprintf(&b, " on workspace %s", p.Workspace)
 	}
 	fmt.Fprintf(&b, " across %d partition(s), parallelism %d\n", p.Partitions, p.Parallelism)
+	if p.QoS != nil {
+		w, m := p.QoS.Workers, p.QoS.ScanMem
+		fmt.Fprintf(&b, "  qos [%s]: workers %d/%d in use (%d waits, %d sheds); scan mem %d/%d bytes (%d waits, %d sheds)\n",
+			p.Tenant, w.InUse, w.Budget, w.Waits, w.Sheds, m.InUse, m.Budget, m.Waits, m.Sheds)
+	} else if p.Tenant != "" {
+		fmt.Fprintf(&b, "  qos: off (tenant %s ungoverned)\n", p.Tenant)
+	}
 	if p.Filter != "" {
 		fmt.Fprintf(&b, "  where   %s\n", p.Filter)
 	}
@@ -180,6 +201,10 @@ func (p Plan) String() string {
 	if s.HydrationWaits+s.HydratedSegs > 0 {
 		fmt.Fprintf(&b, "  hydration: %d cold-segment waits, %d segments hydrated on demand\n",
 			s.HydrationWaits, s.HydratedSegs)
+	}
+	if s.QoSWaits > 0 {
+		fmt.Fprintf(&b, "  qos (last run): %d admission waits, %v queued\n",
+			s.QoSWaits, time.Duration(s.QoSWaitNanos))
 	}
 	return b.String()
 }

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -8,6 +9,7 @@ import (
 
 	"s2db/internal/blob"
 	"s2db/internal/core"
+	"s2db/internal/qos"
 	"s2db/internal/types"
 	"s2db/internal/wal"
 )
@@ -70,6 +72,13 @@ type Config struct {
 	// down and reconnecting from the replica's applied position. Zero uses
 	// DefaultLinkStallTimeout.
 	LinkStallTimeout time.Duration
+	// Governor, when non-nil, meters multi-tenant resource use: workspace
+	// replication links pace their page stream against the workspace
+	// tenant's WAL-bandwidth budget, and workspaces register/unregister as
+	// tenants on attach/detach. Sync HA links are never paced — they are
+	// the durability path, and throttling them would turn a noisy tenant
+	// into a commit-latency regression for everyone.
+	Governor *qos.Governor
 }
 
 // CachePartitioner hands out per-workspace decoded-vector cache handles.
@@ -147,7 +156,7 @@ func New(cfg Config) (*Cluster, error) {
 		var reps []*Partition
 		var links []*Link
 		for r := 0; r < cfg.SyncReplicas; r++ {
-			rep := c.newReplicaPartition(i, nil)
+			rep := c.newReplicaPartition(i, nil, "")
 			link := c.startLinkFrom(p, rep, true, rep.Log().Head())
 			reps = append(reps, rep)
 			links = append(links, link)
@@ -179,16 +188,39 @@ func (c *Cluster) startLinkFrom(master, replica *Partition, syncAck bool, from u
 		c.cfg.ReplicationLatency, c.cfg.LinkStallTimeout, c.replicaID(), from)
 }
 
+// startWorkspaceLinkFrom starts an async workspace replication link whose
+// page stream is paced against the workspace tenant's WAL-bandwidth budget
+// when a governor is configured. The pacer runs on the link's sender
+// goroutine (never under the log mutex), so an over-budget workspace slows
+// or sheds only its own stream; a shed surfaces as a terminal link error
+// that resyncLink heals from blob-staged chunks like any other detach.
+func (c *Cluster) startWorkspaceLinkFrom(master, replica *Partition, from uint64, tenant string) *Link {
+	var pacer func(bytes int) error
+	if gov := c.cfg.Governor; gov != nil {
+		pacer = func(bytes int) error {
+			return gov.Consume(context.Background(), tenant, qos.WALBand, int64(bytes))
+		}
+	}
+	return startLink(c.transport, master, replica, false,
+		c.cfg.ReplicationLatency, c.cfg.LinkStallTimeout, c.replicaID(), from, pacer)
+}
+
 // newReplicaPartition creates a replica with background maintenance
 // disabled (replicas replay the master's flush/merge records instead).
 // cache overrides the table-level decoded-vector cache handle when non-nil
 // (workspace replicas scan through their workspace's partition; HA replicas
-// pass nil and inherit the primary handle).
-func (c *Cluster) newReplicaPartition(part int, cache core.DecodedVectorCache) *Partition {
+// pass nil and inherit the primary handle). tenant, when non-empty, tags
+// the replica's table storage with the QoS tenant its resource use bills
+// to (workspace replicas bill the workspace; HA replicas pass "" and bill
+// the primary tenant).
+func (c *Cluster) newReplicaPartition(part int, cache core.DecodedVectorCache, tenant string) *Partition {
 	tcfg := c.cfg.Table
 	tcfg.Background = false
 	if cache != nil {
 		tcfg.DecodedCache = cache
+	}
+	if tenant != "" {
+		tcfg.QoSTenant = tenant
 	}
 	files := NewPartitionFiles(c.blobPrefix(part), c.cfg.Blob, c.cfg.CacheBytes)
 	return newPartition(c.cfg.Name, part, RoleReplica, tcfg, files, c.cfg.CommitMode, 0, c.cfg.pageConfig())

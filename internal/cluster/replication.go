@@ -63,6 +63,12 @@ type Link struct {
 	stall   time.Duration
 	id      int
 	tr      Transport
+	// pacer, when non-nil, is installed on every subscription this link
+	// opens (initial and resumed): it bills each shipped page's bytes to a
+	// bandwidth budget before delivery. A pacer error ends the session
+	// terminally (the subscription fails with it), like a slow-consumer
+	// detach.
+	pacer func(bytes int) error
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -87,18 +93,28 @@ func StartLink(tr Transport, master, replica *Partition, syncAck bool, latency, 
 // dead link whose Err wraps ErrLinkDown; the caller must restore the
 // replica from blob first.
 func StartLinkFrom(tr Transport, master, replica *Partition, syncAck bool, latency, stall time.Duration, id int, from uint64) *Link {
+	return startLink(tr, master, replica, syncAck, latency, stall, id, from, nil)
+}
+
+// startLink is the full-parameter constructor: pacer, when non-nil, meters
+// the subscription's page bytes (workspace WAL-bandwidth governance).
+func startLink(tr Transport, master, replica *Partition, syncAck bool, latency, stall time.Duration, id int, from uint64, pacer func(bytes int) error) *Link {
 	if stall <= 0 {
 		stall = DefaultLinkStallTimeout
 	}
 	l := &Link{
 		master: master, replica: replica, syncAck: syncAck,
 		latency: latency, stall: stall, id: id, tr: tr,
-		stop: make(chan struct{}),
+		pacer: pacer,
+		stop:  make(chan struct{}),
 	}
 	sub, err := master.Log().Subscribe(from)
 	if err != nil {
 		l.err = fmt.Errorf("%w: %v", ErrLinkDown, err)
 		return l
+	}
+	if l.pacer != nil {
+		sub.SetPacer(l.pacer)
 	}
 	l.setSub(sub)
 	l.wg.Add(1)
@@ -122,6 +138,9 @@ func (l *Link) run(sub *wal.Subscription) {
 				// session was down; only a blob resync can rebuild it.
 				l.fail(fmt.Errorf("%w: resubscribe at %d: %v", ErrLinkDown, from, err))
 				return
+			}
+			if l.pacer != nil {
+				s.SetPacer(l.pacer)
 			}
 			sub = s
 			l.setSub(sub)

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"s2db/internal/core"
+	"s2db/internal/qos"
 	"s2db/internal/types"
 	"s2db/internal/wal"
 )
@@ -46,16 +47,24 @@ func (c *Cluster) CreateWorkspace(name string) (*Workspace, error) {
 		}
 		wsCache = h
 	}
+	// Register the workspace as a QoS tenant before any link starts, so
+	// its replication stream bills a real budget from the first page.
+	if c.cfg.Governor != nil {
+		c.cfg.Governor.Register(name)
+	}
 	ws := &Workspace{Name: name}
 	fail := func(err error) (*Workspace, error) {
 		ws.close()
 		if c.cfg.CachePartitions != nil {
 			c.cfg.CachePartitions.Detach(name)
 		}
+		if c.cfg.Governor != nil {
+			c.cfg.Governor.Unregister(name)
+		}
 		return nil, err
 	}
 	for pi, master := range c.masters {
-		rep := c.newReplicaPartition(pi, wsCache)
+		rep := c.newReplicaPartition(pi, wsCache, name)
 		// DDL: materialize the catalog on the new partition.
 		for tname, schema := range c.catalog {
 			if err := rep.CreateTable(tname, schema); err != nil {
@@ -75,7 +84,7 @@ func (c *Cluster) CreateWorkspace(name string) (*Workspace, error) {
 			}
 			from = lsn
 		}
-		link := c.startLinkFrom(master, rep, false, from)
+		link := c.startWorkspaceLinkFrom(master, rep, from, name)
 		if err := link.Err(); err != nil {
 			rep.Close()
 			return fail(fmt.Errorf("workspace %s: partition %d: %w", name, pi, err))
@@ -168,7 +177,7 @@ func (c *Cluster) resyncLink(ws *Workspace, pi int) error {
 			return err
 		}
 	}
-	link := c.startLinkFrom(master, rep, false, rep.Applied())
+	link := c.startWorkspaceLinkFrom(master, rep, rep.Applied(), ws.Name)
 	if err := link.Err(); err != nil {
 		return err
 	}
@@ -216,10 +225,13 @@ func (w *Workspace) Views(table string) ([]*core.View, error) {
 }
 
 // resyncable reports whether a terminal link error heals by replaying
-// blob-staged chunks and re-attaching: a slow-consumer detach or a link
-// that went down (lost resume point, reconnect exhaustion).
+// blob-staged chunks and re-attaching: a slow-consumer detach, a link
+// that went down (lost resume point, reconnect exhaustion), or a
+// WAL-bandwidth shed — an over-budget workspace stream that re-attaches
+// once it has caught up from blob chunks instead of the master's log.
 func resyncable(err error) bool {
-	return errors.Is(err, wal.ErrSlowConsumer) || errors.Is(err, ErrLinkDown)
+	return errors.Is(err, wal.ErrSlowConsumer) || errors.Is(err, ErrLinkDown) ||
+		errors.Is(err, qos.ErrOverloaded)
 }
 
 // WaitCaughtUp blocks until every workspace partition has applied the
@@ -281,6 +293,11 @@ func (c *Cluster) DetachWorkspace(name string) error {
 		// Release the workspace's cache partition: its entries are discarded
 		// and its budget returns to the pool for the remaining partitions.
 		c.cfg.CachePartitions.Detach(name)
+	}
+	if c.cfg.Governor != nil {
+		// Retire the QoS tenant: waiters are released, outstanding leases
+		// drain harmlessly, and its share returns to the surviving tenants.
+		c.cfg.Governor.Unregister(name)
 	}
 	return nil
 }

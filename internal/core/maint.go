@@ -9,10 +9,16 @@ import (
 
 	"s2db/internal/bitmap"
 	"s2db/internal/colstore"
+	"s2db/internal/qos"
 	"s2db/internal/rowstore"
 	"s2db/internal/types"
 	"s2db/internal/wal"
 )
+
+// mergeAdmissionWait bounds how long one merge round waits for its
+// tenant's merge-I/O lease before giving the tick back to the
+// background loop.
+const mergeAdmissionWait = 2 * time.Second
 
 // installSegment adds a segment entry visible from ts. Callers run inside
 // the commit/replay critical section. Unhydrated stubs (lazy restore) defer
@@ -248,6 +254,30 @@ func (t *Table) Merge() bool {
 	plan := colstore.PickMerge(runSizes, t.cfg.MergeFanout, heat)
 	if plan == nil {
 		return false
+	}
+
+	// QoS admission: lease merge-I/O budget (≈ output bytes in flight)
+	// from this partition's tenant before the expensive build/persist
+	// phase. A shed — or a tenant so contended the lease doesn't clear
+	// within the bounded wait — skips the round; background maintenance
+	// retries on its next tick, which is exactly the throttling the
+	// governor wants.
+	if t.cfg.QoS != nil {
+		var est int64
+		for _, run := range plan.Runs {
+			est += int64(runSizes[run])
+		}
+		est *= int64(len(t.schema.Columns)) * 8
+		if est < 1 {
+			est = 1
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), mergeAdmissionWait)
+		lease, _, err := t.cfg.QoS.AcquireUpTo(ctx, t.cfg.QoSTenant, qos.MergeIO, est/4+1, est)
+		cancel()
+		if err != nil {
+			return false
+		}
+		defer lease.Release()
 	}
 
 	// Scan phase: capture each input's meta (payload + deleted bitmap) so

@@ -18,6 +18,7 @@ import (
 
 	"s2db/internal/colstore"
 	"s2db/internal/index"
+	"s2db/internal/qos"
 	"s2db/internal/rowstore"
 	"s2db/internal/txn"
 	"s2db/internal/types"
@@ -81,6 +82,16 @@ type Config struct {
 	// Benchmark/ablation baseline only — lazy hydration is the default
 	// (the zero value).
 	EagerHydration bool
+	// QoS, when non-nil, is the multi-tenant governor merges lease their
+	// I/O budget from (qos.MergeIO tokens ≈ bytes of merge output in
+	// flight): a merge whose tenant is out of budget waits its turn, and
+	// one shed at the queue cap skips the round — background maintenance
+	// retries on its next tick. Nil leaves merges ungoverned.
+	QoS *qos.Governor
+	// QoSTenant is the tenant this partition's maintenance work is
+	// accounted to: the workspace name for workspace replicas, the
+	// reserved primary tenant otherwise.
+	QoSTenant string
 }
 
 // DecodedVectorCache is the invalidation contract between table maintenance

@@ -259,6 +259,13 @@ type ScanStats struct {
 	// under the EagerHydration ablation.
 	HydrationWaits int64
 	HydratedSegs   int64
+
+	// QoS admission counters. QoSWaits counts admission acquires (worker
+	// slots, scan memory) this run that had to queue on the tenant's
+	// token buckets; QoSWaitNanos is their cumulative queue time. Both
+	// zero when the run was never throttled or QoS is disabled.
+	QoSWaits     int64
+	QoSWaitNanos int64
 }
 
 // Leaf is a comparison clause: col op val (with optional IN-list).

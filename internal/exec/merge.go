@@ -177,6 +177,8 @@ func accumulate(dst *ScanStats, src ScanStats) {
 	dst.RowsMaterialized += src.RowsMaterialized
 	dst.HydrationWaits += src.HydrationWaits
 	dst.HydratedSegs += src.HydratedSegs
+	dst.QoSWaits += src.QoSWaits
+	dst.QoSWaitNanos += src.QoSWaitNanos
 }
 
 // AccumulateStats merges src into dst; the fan-out coordinator uses it to

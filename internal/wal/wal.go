@@ -337,9 +337,42 @@ type Subscription struct {
 	err          error
 	budget       int
 	next         uint64 // lowest LSN this subscription still needs
+	// pacer, when set, charges each delivered page's bytes against a
+	// bandwidth budget before NextPage returns it. It runs outside the
+	// subscription lock (it may sleep on a token refill) so offer() —
+	// called under the log mutex — is never delayed by pacing. A pacer
+	// error fails the subscription with that error; the popped page is
+	// dropped, which is safe because consumers resubscribe from their
+	// applied position.
+	pacer func(bytes int) error
 
 	log *Log
 	id  int
+}
+
+// SetPacer installs a bandwidth pacer called once per page NextPage
+// delivers, with the page's accounting bytes. Install it before the
+// consuming goroutine starts; the error a pacer returns (e.g. a QoS
+// shed) surfaces via Err after NextPage returns ok == false.
+func (s *Subscription) SetPacer(fn func(bytes int) error) {
+	s.mu.Lock()
+	s.pacer = fn
+	s.mu.Unlock()
+}
+
+// fail detaches the subscription from the log and ends it with err,
+// waking blocked readers.
+func (s *Subscription) fail(err error) {
+	s.log.mu.Lock()
+	delete(s.log.subs, s.id)
+	s.log.mu.Unlock()
+	s.mu.Lock()
+	if s.err == nil {
+		s.err = err
+	}
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
 }
 
 // offer delivers a sealed page, trimming any prefix the subscriber already
@@ -380,17 +413,27 @@ func (s *Subscription) offer(pg Page) bool {
 // drains (check Err to distinguish).
 func (s *Subscription) NextPage() (pg Page, ok bool) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	for len(s.pages) == 0 && !s.closed {
 		s.cond.Wait()
 	}
 	if len(s.pages) == 0 {
+		s.mu.Unlock()
 		return Page{}, false
 	}
 	pg = s.pages[0]
 	s.pages = s.pages[1:]
 	s.pendingBytes -= pg.Bytes
 	s.pendingRecs -= len(pg.Records)
+	pacer := s.pacer
+	s.mu.Unlock()
+	// Pacing runs off-lock: the pacer may sleep on a bandwidth refill,
+	// and offer() (called under the log mutex) must never wait on it.
+	if pacer != nil && pg.Bytes > 0 {
+		if err := pacer(pg.Bytes); err != nil {
+			s.fail(err)
+			return Page{}, false
+		}
+	}
 	return pg, true
 }
 

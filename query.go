@@ -161,6 +161,7 @@ type Query struct {
 	limit       int
 	workspace   *cluster.Workspace
 	parallelism int
+	tenant      string
 
 	mu    sync.Mutex
 	stats exec.ScanStats
@@ -209,6 +210,34 @@ func (q *Query) Limit(n int) *Query { q.limit = n; return q }
 // Parallelism overrides the fan-out width for this query: n concurrent
 // partition scans (1 = sequential, 0 = the database default).
 func (q *Query) Parallelism(n int) *Query { q.parallelism = n; return q }
+
+// AsTenant tags the query with the tenant its resource use is accounted
+// to (admission against that tenant's TenantShares budgets). Untagged
+// queries run as the workspace they target, or as PrimaryTenant.
+// WithTenant is the context-carried equivalent for the SQL front door.
+func (q *Query) AsTenant(tenant string) *Query { q.tenant = tenant; return q }
+
+// effectiveTenant resolves the tenant a run is accounted to: the
+// explicit AsTenant tag, else the context's WithTenant tag, else the
+// targeted workspace's name, else the primary cluster's own workload.
+func (q *Query) effectiveTenant(ctx context.Context) string {
+	if q.tenant != "" {
+		return q.tenant
+	}
+	if t, ok := TenantFromContext(ctx); ok {
+		return t
+	}
+	if q.workspace != nil {
+		return q.workspace.Name
+	}
+	return PrimaryTenant
+}
+
+// admission bundles the governor and resolved tenant for the exec
+// fan-out; the zero governor (DisableQoS) admits everything.
+func (q *Query) admission(ctx context.Context) exec.Admission {
+	return exec.Admission{Gov: q.db.gov, Tenant: q.effectiveTenant(ctx)}
+}
 
 // targets returns the leaf execution sites: one per partition of the
 // primary cluster, or of the workspace when routed there.
@@ -340,10 +369,11 @@ func (q *Query) RowsCtx(ctx context.Context) ([]Row, error) {
 	}
 	var stats exec.ScanStats
 	var out []Row
+	adm := q.admission(ctx)
 	if len(r.aggs) == 0 {
-		out, err = exec.CollectRows(ctx, r.views, r.filter, r.earlyLimit, r.parallelism, &stats)
+		out, err = exec.CollectRowsAdmitted(ctx, r.views, r.filter, r.earlyLimit, r.parallelism, &stats, adm)
 	} else {
-		out, err = exec.AggregateViewsParallel(ctx, r.views, r.filter, r.groupCols, r.aggs, r.parallelism, &stats)
+		out, err = exec.AggregateViewsAdmitted(ctx, r.views, r.filter, r.groupCols, r.aggs, r.parallelism, &stats, adm)
 	}
 	if err != nil {
 		return nil, err
@@ -369,7 +399,7 @@ func (q *Query) CountCtx(ctx context.Context) (int64, error) {
 		return 0, err
 	}
 	var stats exec.ScanStats
-	n, err := exec.CountViews(ctx, r.views, r.filter, r.parallelism, &stats)
+	n, err := exec.CountViewsAdmitted(ctx, r.views, r.filter, r.parallelism, &stats, q.admission(ctx))
 	if err != nil {
 		return 0, err
 	}

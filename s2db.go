@@ -24,13 +24,16 @@
 package s2db
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"time"
 
 	"s2db/internal/blob"
 	"s2db/internal/cluster"
 	"s2db/internal/core"
 	"s2db/internal/exec"
+	"s2db/internal/qos"
 	"s2db/internal/sql"
 	"s2db/internal/types"
 )
@@ -197,6 +200,131 @@ type Config struct {
 	// partitions are noticed). 0 uses cluster.DefaultLinkStallTimeout
 	// (500ms).
 	LinkStallTimeout time.Duration
+	// TenantShares pins explicit fractions of every QoS resource budget
+	// to named tenants, mirroring WorkspaceCacheShares: the reserved
+	// name "primary" is the primary cluster's workload, a workspace's
+	// tenant is its workspace name, and Query.AsTenant / WithTenant tag
+	// arbitrary front-door tenants. Tenants without an explicit entry
+	// split the unreserved remainder evenly. Validated at Open: names
+	// non-empty, each share in (0, 1], sum at most 1.0.
+	TenantShares map[string]float64
+	// DisableQoS turns multi-tenant admission control off entirely — no
+	// worker-slot, scan-memory, merge-I/O or WAL-bandwidth governance,
+	// no shedding. The ablation knob for `cmd/s2bench -exp qos`; keep it
+	// off (the zero value) in production shapes.
+	DisableQoS bool
+	// QoSWorkerSlots is the total query fan-out worker-slot pool split
+	// across tenants by TenantShares weight. 0 uses
+	// DefaultQoSWorkerSlots (4×GOMAXPROCS, at least 8); negative leaves
+	// the resource ungoverned.
+	QoSWorkerSlots int
+	// QoSScanMemoryBytes is the total scan/materialization memory
+	// budget (decoded vectors + materialized rows a tenant's scans may
+	// hold concurrently). 0 uses DefaultQoSScanMemoryBytes; negative
+	// ungoverns the resource.
+	QoSScanMemoryBytes int64
+	// QoSMergeIOBytes is the total background merge I/O budget (bytes
+	// of merge output in flight). 0 uses DefaultQoSMergeIOBytes;
+	// negative ungoverns the resource.
+	QoSMergeIOBytes int64
+	// QoSWALBytesPerSec is the total WAL/replication bandwidth budget,
+	// rate-style: a workspace's replication stream consumes its
+	// tenant's share and self-paces on the refill clock; a stream so
+	// far over budget that a page's wait would exceed the governor's
+	// maximum is shed with ErrOverloaded and heals through the
+	// workspace resync path. 0 uses DefaultQoSWALBytesPerSec; negative
+	// ungoverns the resource. Sync (HA) replica links are never paced —
+	// they are the durability path.
+	QoSWALBytesPerSec int64
+	// QoSQueueDepth caps concurrent waiters per tenant per resource;
+	// an admission request beyond the cap is shed with a typed
+	// ErrOverloaded carrying a retry-after hint instead of queueing.
+	// 0 uses DefaultQoSQueueDepth; negative sheds immediately on budget
+	// exhaustion (no queueing at all).
+	QoSQueueDepth int
+}
+
+// PrimaryTenant is the reserved tenant name accounting for the primary
+// cluster's own workload (queries not tagged otherwise, merges, HA
+// bookkeeping) in TenantShares and QoSStats.
+const PrimaryTenant = "primary"
+
+// QoS capacity defaults, applied when the corresponding Config field is
+// zero.
+const (
+	DefaultQoSScanMemoryBytes = int64(1) << 30   // 1 GiB
+	DefaultQoSMergeIOBytes    = int64(256) << 20 // 256 MiB
+	DefaultQoSWALBytesPerSec  = int64(256) << 20 // 256 MiB/s
+	DefaultQoSQueueDepth      = 64
+)
+
+// DefaultQoSWorkerSlots sizes the worker-slot pool when
+// Config.QoSWorkerSlots is zero: 4×GOMAXPROCS, at least 8 — wide enough
+// that a single tenant's ordinary concurrency never queues, tight
+// enough that a flood cannot pile unbounded scan tasks onto the
+// scheduler.
+func DefaultQoSWorkerSlots() int {
+	n := 4 * runtime.GOMAXPROCS(0)
+	if n < 8 {
+		n = 8
+	}
+	return n
+}
+
+// qosWALMaxWait bounds how long one replication page may self-pace on
+// the refill clock before the stream sheds instead (healing through the
+// workspace resync path).
+const qosWALMaxWait = 2 * time.Second
+
+// newGovernor resolves the QoS knobs into a governor, or nil when
+// DisableQoS is set (shares are still validated so a misconfiguration
+// never passes silently).
+func newGovernor(cfg Config) (*qos.Governor, error) {
+	if cfg.DisableQoS {
+		return nil, qos.ValidateShares(cfg.TenantShares)
+	}
+	resolve := func(v, def int64) int64 {
+		switch {
+		case v == 0:
+			return def
+		case v < 0:
+			return 0 // ungoverned
+		}
+		return v
+	}
+	depth := cfg.QoSQueueDepth
+	switch {
+	case depth == 0:
+		depth = DefaultQoSQueueDepth
+	case depth < 0:
+		depth = 0
+	}
+	var lim [qos.NumResources]qos.Limits
+	lim[qos.Workers] = qos.Limits{
+		Capacity:   resolve(int64(cfg.QoSWorkerSlots), int64(DefaultQoSWorkerSlots())),
+		QueueDepth: depth,
+	}
+	lim[qos.ScanMem] = qos.Limits{
+		Capacity:   resolve(cfg.QoSScanMemoryBytes, DefaultQoSScanMemoryBytes),
+		QueueDepth: depth,
+	}
+	lim[qos.MergeIO] = qos.Limits{
+		Capacity:   resolve(cfg.QoSMergeIOBytes, DefaultQoSMergeIOBytes),
+		QueueDepth: depth,
+	}
+	rate := resolve(cfg.QoSWALBytesPerSec, DefaultQoSWALBytesPerSec)
+	lim[qos.WALBand] = qos.Limits{
+		Capacity:     rate / 4,
+		RefillPerSec: rate,
+		QueueDepth:   depth,
+		MaxWait:      qosWALMaxWait,
+	}
+	g, err := qos.New(qos.Config{Shares: cfg.TenantShares, Limits: lim})
+	if err != nil {
+		return nil, err
+	}
+	g.Register(PrimaryTenant)
+	return g, nil
 }
 
 // Transport names accepted by Config.Transport.
@@ -262,6 +390,51 @@ type DB struct {
 	plans *sql.Cache
 	// chaos is the fault injector when Config.Chaos is set, nil otherwise.
 	chaos *ChaosTransport
+	// gov is the multi-tenant QoS governor; nil under Config.DisableQoS
+	// (every admission then succeeds ungoverned).
+	gov *qos.Governor
+}
+
+// Multi-tenant QoS re-exports: the typed shedding contract and the
+// per-tenant accounting surfaced by DB.QoSStats and Plan.QoS.
+type (
+	// QoSTenantStats is one tenant's per-resource token accounting.
+	QoSTenantStats = qos.TenantStats
+	// QoSResourceStats is one (tenant, resource) bucket's counters.
+	QoSResourceStats = qos.ResourceStats
+	// OverloadError is a typed shed: tenant, resource and a retry-after
+	// hint that grows (and never shrinks) while the overload lasts.
+	OverloadError = qos.OverloadError
+)
+
+// ErrOverloaded is the sentinel every QoS shed unwraps to; match with
+// errors.Is, then errors.As to *OverloadError for the retry-after.
+var ErrOverloaded = qos.ErrOverloaded
+
+// QoSRetryAfter extracts the retry-after hint from a shed error chain
+// (0 when err is not an overload).
+func QoSRetryAfter(err error) time.Duration { return qos.RetryAfter(err) }
+
+// QoSStats snapshots every tenant's token accounting across the four
+// governed resources: budgets, tokens in use, cumulative tokens spent,
+// admission waits and wait time, and sheds. Nil map when QoS is
+// disabled.
+func (db *DB) QoSStats() map[string]QoSTenantStats { return db.gov.Stats() }
+
+// tenantCtxKey carries a WithTenant tag through a context.
+type tenantCtxKey struct{}
+
+// WithTenant tags a context with the tenant every query run under it is
+// accounted to — the front-door form of Query.AsTenant, usable with
+// QueryCtx/RowsCtx/CountCtx.
+func WithTenant(ctx context.Context, tenant string) context.Context {
+	return context.WithValue(ctx, tenantCtxKey{}, tenant)
+}
+
+// TenantFromContext reports the WithTenant tag, if any.
+func TenantFromContext(ctx context.Context) (string, bool) {
+	t, ok := ctx.Value(tenantCtxKey{}).(string)
+	return t, ok && t != ""
 }
 
 // newVecCacheGroup resolves the cache knobs: VectorCacheBytes 0 = default,
@@ -331,6 +504,10 @@ func Open(cfg Config) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
+	gov, err := newGovernor(cfg)
+	if err != nil {
+		return nil, err
+	}
 	ccfg := cluster.Config{
 		Name:                cfg.Name,
 		Partitions:          cfg.Partitions,
@@ -343,6 +520,7 @@ func Open(cfg Config) (*DB, error) {
 		GroupCommitInterval: cfg.GroupCommitInterval,
 		Transport:           transport,
 		LinkStallTimeout:    cfg.LinkStallTimeout,
+		Governor:            gov,
 		Table: core.Config{
 			MaxSegmentRows:      cfg.MaxSegmentRows,
 			Background:          cfg.BackgroundMaintenance,
@@ -350,6 +528,8 @@ func Open(cfg Config) (*DB, error) {
 			DisableFusedKernels: cfg.DisableFusedKernels,
 			HydrationWorkers:    cfg.HydrationWorkers,
 			EagerHydration:      cfg.EagerHydration,
+			QoS:                 gov,
+			QoSTenant:           PrimaryTenant,
 		},
 		CachePartitions: cachePartitioner{g: vec},
 	}
@@ -363,7 +543,7 @@ func Open(cfg Config) (*DB, error) {
 		transport.Close()
 		return nil, err
 	}
-	return &DB{cluster: c, cfg: cfg, vec: vec, plans: sql.NewCache(cfg.PlanCacheEntries), chaos: chaos}, nil
+	return &DB{cluster: c, cfg: cfg, vec: vec, plans: sql.NewCache(cfg.PlanCacheEntries), chaos: chaos, gov: gov}, nil
 }
 
 // ChaosTransport returns the live fault injector when the database was
@@ -469,16 +649,23 @@ func PointInTimeRestore(cfg Config, catalog map[string]*Schema, target time.Time
 	if err != nil {
 		return nil, err
 	}
+	gov, err := newGovernor(cfg)
+	if err != nil {
+		return nil, err
+	}
 	ccfg := cluster.Config{
 		Name:       cfg.Name,
 		Partitions: cfg.Partitions,
 		Blob:       cfg.BlobStore,
 		CacheBytes: cfg.CacheBytes,
+		Governor:   gov,
 		Table: core.Config{
 			MaxSegmentRows:      cfg.MaxSegmentRows,
 			DisableFusedKernels: cfg.DisableFusedKernels,
 			HydrationWorkers:    cfg.HydrationWorkers,
 			EagerHydration:      cfg.EagerHydration,
+			QoS:                 gov,
+			QoSTenant:           PrimaryTenant,
 		},
 		CachePartitions: cachePartitioner{g: vec},
 	}
@@ -493,5 +680,5 @@ func PointInTimeRestore(cfg Config, catalog map[string]*Schema, target time.Time
 		c.Close()
 		return nil, err
 	}
-	return &DB{cluster: c, cfg: cfg, vec: vec, plans: sql.NewCache(cfg.PlanCacheEntries)}, nil
+	return &DB{cluster: c, cfg: cfg, vec: vec, plans: sql.NewCache(cfg.PlanCacheEntries), gov: gov}, nil
 }
